@@ -1,0 +1,75 @@
+// Figure 10 — CDF of per-lookup CPU cycles on REAL-Tier1-A for SAIL,
+// D16R/D18R, Poptrie16/18 (random traffic, one shared seed). Prints the CDF
+// as a table of cycle values x algorithms, plus an ASCII plot.
+#include "common.hpp"
+
+using namespace bench;
+
+int main(int argc, char** argv)
+{
+    const benchkit::Args args(argc, argv);
+    if (args.handle_help("bench_figure10_cdf")) return 0;
+    const auto n = args.lookups(std::size_t{1} << 22, std::size_t{1} << 24);
+    const auto seed = args.seed(0);
+
+    std::printf("Figure 10: CDF of CPU cycles per lookup (REAL-Tier1-A)\n");
+    std::printf("# paper shape: SAIL steepest below ~22 cycles but a long tail past 279;\n"
+                "# Poptrie18/D18R nearly identical below 120 cycles, Poptrie18 shortest tail\n\n");
+    const auto d = load_dataset(workload::real_tier1_a());
+    const auto s = build_structures(d);
+    ChecksumSink sink;
+
+    struct Algo {
+        const char* name;
+        benchkit::Percentiles pct;
+    };
+    std::vector<Algo> algos;
+    algos.push_back({"SAIL", benchkit::Percentiles(sample_cycles(
+                                 [&](std::uint32_t a) { return s.sail->lookup(Ipv4Addr{a}); },
+                                 n, sink, seed))});
+    algos.push_back({"D16R", benchkit::Percentiles(sample_cycles(
+                                 [&](std::uint32_t a) { return s.d16r->lookup(Ipv4Addr{a}); },
+                                 n, sink, seed))});
+    algos.push_back({"Poptrie16",
+                     benchkit::Percentiles(sample_cycles(
+                         [&](std::uint32_t a) { return s.poptrie16->lookup_raw<true>(a); }, n,
+                         sink, seed))});
+    algos.push_back({"D18R", benchkit::Percentiles(sample_cycles(
+                                 [&](std::uint32_t a) { return s.d18r->lookup(Ipv4Addr{a}); },
+                                 n, sink, seed))});
+    algos.push_back({"Poptrie18",
+                     benchkit::Percentiles(sample_cycles(
+                         [&](std::uint32_t a) { return s.poptrie18->lookup_raw<true>(a); }, n,
+                         sink, seed))});
+
+    // CDF sampled at paper-scale x values (0..350 cycles).
+    std::vector<std::uint64_t> xs;
+    for (std::uint64_t x = 0; x <= 350; x += 10) xs.push_back(x);
+    std::printf("cycles");
+    for (const auto& a : algos) std::printf("%11s", a.name);
+    std::printf("\n");
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        std::printf("%6llu", static_cast<unsigned long long>(xs[i]));
+        for (const auto& a : algos) std::printf("%11.4f", a.pct.cdf_at({xs[i]})[0]);
+        std::printf("\n");
+    }
+
+    // ASCII rendering, one row per 5% of CDF.
+    std::printf("\nASCII CDF (x: cycles 0..350, marks at the cycle count where each\n"
+                "algorithm first reaches the row's CDF level)\n");
+    for (int level = 95; level >= 5; level -= 5) {
+        std::printf("%3d%% |", level);
+        std::string line(71, ' ');
+        for (std::size_t k = 0; k < algos.size(); ++k) {
+            const double c = algos[k].pct.percentile(level);
+            const auto pos = static_cast<std::size_t>(std::min(c / 5.0, 70.0));
+            line[pos] = static_cast<char>('1' + k);
+        }
+        std::printf("%s\n", line.c_str());
+    }
+    std::printf("      0 cycles");
+    std::printf("%56s\n", "350 cycles");
+    for (std::size_t k = 0; k < algos.size(); ++k)
+        std::printf("  (%zu) %s\n", k + 1, algos[k].name);
+    return 0;
+}

@@ -1,0 +1,65 @@
+// Figure 11 — per-lookup CPU cycle quartiles (5/25/50/75/95th) bucketed by
+// the query address's binary radix depth, per algorithm, on REAL-Tier1-A.
+// The paper's headline: Poptrie18's 95th percentile stays flat (<= ~172
+// cycles) at every depth, while SAIL and DXR blow past ~234 cycles at depths
+// 24-25.
+#include <map>
+
+#include "common.hpp"
+
+using namespace bench;
+
+int main(int argc, char** argv)
+{
+    const benchkit::Args args(argc, argv);
+    if (args.handle_help("bench_figure11_depth_cycles")) return 0;
+    const auto n = args.lookups(std::size_t{1} << 22, std::size_t{1} << 24);
+    const auto seed = args.seed(0);
+
+    std::printf("Figure 11: per-lookup cycle candles by binary radix depth (REAL-Tier1-A)\n\n");
+    const auto d = load_dataset(workload::real_tier1_a());
+    const auto s = build_structures(d);
+    ChecksumSink sink;
+
+    // Precompute the depth of every queried address once (same seed for all
+    // algorithms, as in the paper).
+    std::vector<std::uint8_t> depths;
+    {
+        workload::Xorshift128 rng(seed);
+        depths.reserve(n);
+        for (std::size_t i = 0; i < n; ++i)
+            depths.push_back(static_cast<std::uint8_t>(
+                d.rib.lookup_detail(Ipv4Addr{rng.next()}).radix_depth));
+    }
+
+    const auto run = [&](const char* name, auto&& lookup) {
+        const auto cycles = sample_cycles(lookup, n, sink, seed);
+        std::map<unsigned, std::vector<std::uint64_t>> buckets;
+        for (std::size_t i = 0; i < n; ++i)
+            buckets[(depths[i] + 1) / 2 * 2].push_back(cycles[i]);  // even buckets, like the x-axis
+        std::printf("\n--- %s ---\n", name);
+        benchkit::TablePrinter table({{"depth", 5},
+                                      {"n", 9},
+                                      {"p5", 6},
+                                      {"p25", 6},
+                                      {"median", 6},
+                                      {"p75", 6},
+                                      {"p95", 6}});
+        table.print_header();
+        for (auto& [depth, samples] : buckets) {
+            if (samples.size() < 50) continue;  // too few for stable candles
+            const auto c = benchkit::candle(std::move(samples));
+            table.print_row({std::to_string(depth), benchkit::fmt_count(c.n),
+                             benchkit::fmt(c.p5, 0), benchkit::fmt(c.p25, 0),
+                             benchkit::fmt(c.p50, 0), benchkit::fmt(c.p75, 0),
+                             benchkit::fmt(c.p95, 0)});
+        }
+    };
+
+    run("SAIL", [&](std::uint32_t a) { return s.sail->lookup(Ipv4Addr{a}); });
+    run("D16R", [&](std::uint32_t a) { return s.d16r->lookup(Ipv4Addr{a}); });
+    run("Poptrie16", [&](std::uint32_t a) { return s.poptrie16->lookup_raw<true>(a); });
+    run("D18R", [&](std::uint32_t a) { return s.d18r->lookup(Ipv4Addr{a}); });
+    run("Poptrie18", [&](std::uint32_t a) { return s.poptrie18->lookup_raw<true>(a); });
+    return 0;
+}

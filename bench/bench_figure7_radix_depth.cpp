@@ -1,0 +1,83 @@
+// Figure 7 — heat map of binary radix depth vs matched prefix length over
+// the IPv4 address space on REAL-Tier1-A. The paper scans all 2^32
+// addresses; the quick default samples uniformly (the full sweep is
+// available with --full). Output: a matrix of log10-bucketed counts plus the
+// marginal the paper discusses (how often the depth exceeds the matched
+// length).
+#include <array>
+#include <cmath>
+
+#include "common.hpp"
+
+using namespace bench;
+
+int main(int argc, char** argv)
+{
+    const benchkit::Args args(argc, argv);
+    if (args.handle_help("bench_figure7_radix_depth",
+                         "  --full sweeps all 2^32 addresses (minutes)"))
+        return 0;
+    const bool full = args.has("full");
+    const auto samples = args.lookups(std::size_t{1} << 24, std::size_t{1} << 32);
+
+    std::printf("Figure 7: binary radix depth vs matched prefix length (REAL-Tier1-A)\n");
+    std::printf("# %s of the address space\n\n",
+                full ? "exhaustive sweep" : "uniform sample");
+    const auto d = load_dataset(workload::real_tier1_a());
+
+    // counts[matched_len][radix_depth]
+    std::array<std::array<std::uint64_t, 33>, 33> counts{};
+    std::uint64_t deeper = 0;
+    std::uint64_t total = 0;
+    const auto record = [&](std::uint32_t a) {
+        const auto det = d.rib.lookup_detail(Ipv4Addr{a});
+        const unsigned len = det.matched ? det.matched_length : 0;
+        counts[len][std::min(det.radix_depth, 32u)]++;
+        if (det.radix_depth > len) ++deeper;
+        ++total;
+    };
+    if (full) {
+        std::uint32_t a = 0;
+        do {
+            record(a);
+        } while (++a != 0);
+    } else {
+        workload::Xorshift128 rng(args.seed(1));
+        for (std::size_t i = 0; i < samples; ++i) record(rng.next());
+    }
+
+    // Heat map: rows = radix depth (y-axis), columns = prefix length
+    // (x-axis), cell = floor(log10(count)) as in the paper's colour scale.
+    std::printf("rows: binary radix depth 0..32 (top=32); cols: matched prefix length 0..32\n");
+    std::printf("cell: digit d means 10^d <= count < 10^(d+1); '.' means zero\n\n");
+    for (int depth = 32; depth >= 0; --depth) {
+        std::printf("%2d |", depth);
+        for (int len = 0; len <= 32; ++len) {
+            const auto c = counts[static_cast<std::size_t>(len)][static_cast<std::size_t>(depth)];
+            if (c == 0)
+                std::printf(" .");
+            else
+                std::printf(" %d", static_cast<int>(std::log10(static_cast<double>(c))));
+        }
+        std::printf("\n");
+    }
+    std::printf("    +");
+    for (int len = 0; len <= 32; ++len) std::printf("--");
+    std::printf("\n     ");
+    for (int len = 0; len <= 32; ++len) std::printf("%2d", len % 10);
+    std::printf("\n\n");
+
+    std::printf("addresses whose radix depth exceeds the matched prefix length: %.1f%%\n",
+                100.0 * static_cast<double>(deeper) / static_cast<double>(total));
+    const auto frac_deeper_than = [&](unsigned t) {
+        std::uint64_t n = 0;
+        for (unsigned len = 0; len <= 32; ++len)
+            for (unsigned depth = t + 1; depth <= 32; ++depth) n += counts[len][depth];
+        return 100.0 * static_cast<double>(n) / static_cast<double>(total);
+    };
+    std::printf("share of address space with radix depth > 18: %.1f%% (paper §4.7: 22.1%%)\n",
+                frac_deeper_than(18));
+    std::printf("share of address space with radix depth > 24: %.2f%% (paper §4.7: 1.66%%)\n",
+                frac_deeper_than(24));
+    return 0;
+}

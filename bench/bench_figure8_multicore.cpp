@@ -1,0 +1,49 @@
+// Figure 8 — aggregated random-pattern lookup rate of Poptrie18 by thread
+// count (1..4 in the paper; up to the host's core count here), on
+// REAL-Tier1-A and REAL-Tier1-B. The structure is shared read-only, so the
+// paper expects near-linear scaling.
+#include <thread>
+
+#include "common.hpp"
+
+using namespace bench;
+
+int main(int argc, char** argv)
+{
+    const benchkit::Args args(argc, argv);
+    if (args.handle_help("bench_figure8_multicore", "  --threads=N  max thread count"))
+        return 0;
+    const auto lookups = args.lookups(std::size_t{1} << 22, std::size_t{1} << 25);
+    const auto trials = args.trials();
+    const auto max_threads = static_cast<unsigned>(args.get_u64(
+        "threads", std::min(4u, std::max(1u, std::thread::hardware_concurrency()))));
+
+    std::printf("Figure 8: aggregated lookup rate by number of threads (Poptrie18)\n");
+    std::printf("# paper: ~914 Mlps at 4 threads on Tier1-A (241 x ~3.8 scaling)\n\n");
+    print_host_note();
+    ChecksumSink sink;
+    benchkit::TablePrinter table({{"Dataset", 13, false},
+                                  {"Threads", 7},
+                                  {"Rate(std)[Mlps]", 16},
+                                  {"Scaling", 7}});
+    table.print_header();
+
+    for (const auto& spec : {workload::real_tier1_a(), workload::real_tier1_b()}) {
+        const auto d = load_dataset(spec);
+        poptrie::Config cfg;
+        cfg.direct_bits = 18;
+        const poptrie::Poptrie4 pt{d.rib, cfg};
+        double base = 0;
+        for (unsigned threads = 1; threads <= max_threads; ++threads) {
+            const auto r = benchkit::measure_random_multithread(
+                [&](std::uint32_t a) { return pt.lookup_raw<true>(a); }, lookups, threads,
+                trials);
+            sink.add(r.checksum);
+            if (threads == 1) base = r.mlps_mean;
+            table.print_row({d.name, std::to_string(threads),
+                             benchkit::fmt_mean_std(r.mlps_mean, r.mlps_std),
+                             benchkit::fmt(r.mlps_mean / base, 2) + "x"});
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,92 @@
+// Table 3 — memory footprint and random-pattern lookup rate of every
+// algorithm on the two Tier-1 datasets: Radix, Tree BitMap (16/64-ary),
+// SAIL, D16R/D18R, Poptrie0/16/18.
+#include "common.hpp"
+
+using namespace bench;
+
+namespace {
+
+struct PaperCell {
+    double mem_a, rate_a, mem_b, rate_b;
+};
+// Table 3's published values (REAL-Tier1-A, REAL-Tier1-B).
+const std::pair<const char*, PaperCell> kPaper[] = {
+    {"Radix", {30.48, 8.82, 29.34, 8.92}},
+    {"Tree BitMap", {2.62, 56.24, 2.54, 62.13}},
+    {"Tree BitMap (64-ary)", {3.10, 61.61, 2.89, 68.82}},
+    {"SAIL", {44.24, 158.22, 42.62, 159.39}},
+    {"D16R", {1.16, 116.63, 0.93, 114.30}},
+    {"D18R", {1.91, 179.92, 1.71, 168.80}},
+    {"Poptrie0", {1.49, 96.27, 1.32, 92.99}},
+    {"Poptrie16", {2.75, 198.28, 1.87, 191.83}},
+    {"Poptrie18", {2.40, 240.52, 2.25, 218.97}},
+};
+
+}  // namespace
+
+int main(int argc, char** argv)
+{
+    const benchkit::Args args(argc, argv);
+    if (args.handle_help("bench_table3_algorithms")) return 0;
+    const auto lookups = args.lookups(std::size_t{1} << 22, std::size_t{1} << 26);
+    const auto trials = args.trials();
+
+    std::printf("Table 3: memory footprint and random lookup rate per algorithm\n\n");
+    print_host_note();
+    ChecksumSink sink;
+
+    benchkit::TablePrinter table({{"Algorithm", 21, false},
+                                  {"Mem[MiB]", 8},
+                                  {"Rate[Mlps]", 14},
+                                  {"paper Mem", 9},
+                                  {"paper Rate", 10}});
+
+    int which = 0;
+    for (const auto& spec : {workload::real_tier1_a(), workload::real_tier1_b()}) {
+        const auto d = load_dataset(spec);
+        BuildSelection sel;
+        sel.poptrie0 = true;
+        const auto s = build_structures(d, sel);
+        std::printf("\n=== %s (%zu routes) ===\n", d.name.c_str(), d.rib.route_count());
+        table.print_header();
+
+        const auto row = [&](const char* name, std::size_t mem, auto&& lookup,
+                             std::size_t scale_down = 1) {
+            const auto r = benchkit::measure_random(lookup, lookups / scale_down, trials);
+            sink.add(r.checksum);
+            double pm = 0;
+            double pr = 0;
+            for (const auto& [pname, cell] : kPaper) {
+                if (std::string{pname} == name) {
+                    pm = which == 0 ? cell.mem_a : cell.mem_b;
+                    pr = which == 0 ? cell.rate_a : cell.rate_b;
+                }
+            }
+            table.print_row({name, benchkit::fmt_mib(mem),
+                             benchkit::fmt_mean_std(r.mlps_mean, r.mlps_std),
+                             benchkit::fmt(pm, 2), benchkit::fmt(pr, 2)});
+        };
+
+        row("Radix", d.rib.memory_bytes(),
+            [&](std::uint32_t a) { return d.rib.lookup(Ipv4Addr{a}); }, 8);
+        row("Tree BitMap", s.tbm16->memory_bytes(),
+            [&](std::uint32_t a) { return s.tbm16->lookup(Ipv4Addr{a}); }, 2);
+        row("Tree BitMap (64-ary)", s.tbm64->memory_bytes(),
+            [&](std::uint32_t a) { return s.tbm64->lookup(Ipv4Addr{a}); }, 2);
+        row("SAIL", s.sail->memory_bytes(),
+            [&](std::uint32_t a) { return s.sail->lookup(Ipv4Addr{a}); });
+        row("D16R", s.d16r->memory_bytes(),
+            [&](std::uint32_t a) { return s.d16r->lookup(Ipv4Addr{a}); });
+        row("D18R", s.d18r->memory_bytes(),
+            [&](std::uint32_t a) { return s.d18r->lookup(Ipv4Addr{a}); });
+        row("Poptrie0", s.poptrie0->stats().memory_bytes,
+            [&](std::uint32_t a) { return s.poptrie0->lookup_raw<true>(a); });
+        row("Poptrie16", s.poptrie16->stats().memory_bytes,
+            [&](std::uint32_t a) { return s.poptrie16->lookup_raw<true>(a); });
+        row("Poptrie18", s.poptrie18->stats().memory_bytes,
+            [&](std::uint32_t a) { return s.poptrie18->lookup_raw<true>(a); });
+        ++which;
+    }
+    return 0;
+}

@@ -1,0 +1,80 @@
+// Table 5 — scalability on the future-envisioned synthetic tables: random
+// lookup rates of SAIL, D18R(modified) and Poptrie18 on SYN1/SYN2 of both
+// Tier-1 datasets. SAIL must come out N/A on the SYN2 tables (C16 chunk-id
+// overflow, §4.8), and unmodified DXR must fail on all four, reproducing the
+// paper's structural-limit findings.
+#include "common.hpp"
+
+using namespace bench;
+
+int main(int argc, char** argv)
+{
+    const benchkit::Args args(argc, argv);
+    if (args.handle_help("bench_table5_scalability")) return 0;
+    const auto lookups = args.lookups(std::size_t{1} << 22, std::size_t{1} << 25);
+    const auto trials = args.trials();
+
+    std::printf("Table 5: lookup rates on synthetic large RIBs (random traffic)\n");
+    std::printf("# paper (Mlps):      SYN1-A    SYN1-B    SYN2-A    SYN2-B\n"
+                "#   SAIL             102.86     99.98       N/A       N/A\n"
+                "#   D18R(modified)   115.45    117.48    102.59    104.22\n"
+                "#   Poptrie18        188.02    187.69    174.42    175.04\n"
+                "# 100GbE wire rate: 148.8 Mlps\n\n");
+    print_host_note();
+    ChecksumSink sink;
+
+    struct Target {
+        const char* name;
+        workload::DatasetSpec base;
+        int level;
+        std::size_t target;
+    };
+    const Target targets[] = {
+        {"SYN1-Tier1-A", workload::real_tier1_a(), 1, 764'847},
+        {"SYN1-Tier1-B", workload::real_tier1_b(), 1, 756'406},
+        {"SYN2-Tier1-A", workload::real_tier1_a(), 2, 885'645},
+        {"SYN2-Tier1-B", workload::real_tier1_b(), 2, 876'944},
+    };
+
+    benchkit::TablePrinter table({{"Dataset", 13, false},
+                                  {"routes", 8},
+                                  {"SAIL", 13},
+                                  {"D18R", 15},
+                                  {"Poptrie18", 13}});
+    table.print_header();
+    for (const auto& t : targets) {
+        const auto base = workload::make_table(t.base);
+        const auto d =
+            load_routes(t.name, workload::make_syn(base, t.level, t.target));
+        BuildSelection sel;
+        sel.treebitmap = false;
+        sel.poptrie16 = false;
+        const auto s = build_structures(d, sel);
+
+        std::string sail_cell = "N/A";
+        if (s.sail) {
+            const auto r = benchkit::measure_random(
+                [&](std::uint32_t a) { return s.sail->lookup(Ipv4Addr{a}); }, lookups, trials);
+            sink.add(r.checksum);
+            sail_cell = benchkit::fmt_mean_std(r.mlps_mean, r.mlps_std);
+        }
+        std::string dxr_cell = "N/A";
+        if (s.d18r) {
+            const auto r = benchkit::measure_random(
+                [&](std::uint32_t a) { return s.d18r->lookup(Ipv4Addr{a}); }, lookups, trials);
+            sink.add(r.checksum);
+            dxr_cell = benchkit::fmt_mean_std(r.mlps_mean, r.mlps_std) +
+                       (s.dxr_modified ? "+" : "");
+        }
+        const auto p18 = benchkit::measure_random(
+            [&](std::uint32_t a) { return s.poptrie18->lookup_raw<true>(a); }, lookups, trials);
+        sink.add(p18.checksum);
+        table.print_row({std::string{t.name}, benchkit::fmt_count(d.routes.size()), sail_cell, dxr_cell,
+                         benchkit::fmt_mean_std(p18.mlps_mean, p18.mlps_std)});
+        if (!s.sail) std::printf("    SAIL N/A: %s\n", s.sail_error.c_str());
+        if (s.dxr_modified)
+            std::printf("    D18R+ = modified 20-bit-base format (unmodified DXR: %s)\n",
+                        s.dxr_error.c_str());
+    }
+    return 0;
+}

@@ -1,0 +1,80 @@
+// §4.9 — update performance: (a) replay of an hour-scale BGP update feed
+// against a full table (per-update latency, replaced objects per update),
+// (b) randomized full-route insertion time, both on Poptrie18 with the
+// lock-free incremental updater.
+#include <algorithm>
+#include <chrono>
+
+#include "common.hpp"
+
+using namespace bench;
+
+int main(int argc, char** argv)
+{
+    const benchkit::Args args(argc, argv);
+    if (args.handle_help("bench_update")) return 0;
+    const auto n_updates = args.get_u64("updates", 23'446);  // the paper's hour of linx-p52
+
+    std::printf("Section 4.9: incremental update performance (Poptrie18)\n");
+    std::printf("# paper: 23,446 updates in 58.90 ms => 2.51 us/update; per update\n"
+                "# 0.041 top-level slots, 6.05 leaves, 0.48 inodes replaced; full-route\n"
+                "# randomized insertion 5.10 us/prefix (Tier1-A), 4.57 (Tier1-B)\n\n");
+
+    // (a) update feed on an RV-linx-p52-like table.
+    {
+        const auto specs = workload::routeviews_specs();
+        const auto spec = *std::find_if(specs.begin(), specs.end(), [](const auto& s) {
+            return s.name == "RV-linx-p52";
+        });
+        auto d = load_dataset(spec);
+        poptrie::Config cfg;
+        cfg.direct_bits = 18;
+        poptrie::Poptrie4 pt{d.rib, cfg};
+
+        workload::UpdateFeedConfig ucfg;
+        ucfg.updates = n_updates;
+        ucfg.next_hops = spec.config.next_hops;
+        const auto feed = workload::make_update_feed(d.routes, ucfg);
+
+        const auto t0 = std::chrono::steady_clock::now();
+        for (const auto& ev : feed) pt.apply(d.rib, ev.prefix, ev.next_hop);
+        const double ms = std::chrono::duration<double, std::milli>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count();
+        const auto& c = pt.update_counters();
+        const auto per = [&](std::uint64_t v) {
+            return static_cast<double>(v) / static_cast<double>(c.updates);
+        };
+        std::printf("update feed on %s: %zu updates (%.1f%% announce)\n", d.name.c_str(),
+                    feed.size(), 100.0 * ucfg.announce_fraction);
+        std::printf("  total %.2f ms => %.2f us/update (paper: 58.90 ms, 2.51 us)\n", ms,
+                    ms * 1000.0 / static_cast<double>(feed.size()));
+        std::printf("  replaced per update: %.3f top-level slots (paper 0.041),"
+                    " %.2f leaves (paper 6.05), %.2f inodes (paper 0.48)\n",
+                    per(c.direct_stores), per(c.leaves_allocated), per(c.nodes_allocated));
+        std::printf("  pool growths during updates: %llu\n\n",
+                    static_cast<unsigned long long>(c.pool_growths));
+    }
+
+    // (b) randomized full-route insertion.
+    for (const auto& spec : {workload::real_tier1_a(), workload::real_tier1_b()}) {
+        auto routes = workload::make_table(spec);
+        workload::Xorshift128 rng(args.seed(3));
+        for (std::size_t i = routes.size(); i > 1; --i)
+            std::swap(routes[i - 1], routes[rng.next_below(static_cast<std::uint32_t>(i))]);
+
+        rib::RadixTrie<Ipv4Addr> rib;
+        poptrie::Config cfg;
+        cfg.direct_bits = 18;
+        poptrie::Poptrie4 pt{rib, cfg};
+        const auto t0 = std::chrono::steady_clock::now();
+        for (const auto& r : routes) pt.apply(rib, r.prefix, r.next_hop);
+        const double secs =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+        std::printf("full-route randomized insertion on %s: %zu prefixes in %.2f s"
+                    " => %.2f us/prefix\n",
+                    spec.name.c_str(), routes.size(), secs,
+                    secs * 1e6 / static_cast<double>(routes.size()));
+    }
+    return 0;
+}

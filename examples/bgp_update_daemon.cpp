@@ -1,0 +1,114 @@
+// bgp_update_daemon — the §3.5 story end to end: a control-plane thread
+// applies a live BGP update feed to the FIB with the lock-free incremental
+// updater while data-plane threads keep looking up packets the whole time,
+// protected only by epoch guards (no locks anywhere on the read path).
+//
+// Prints update latency percentiles, the replaced-objects-per-update
+// accounting the paper reports in §4.9, and the reader throughput observed
+// *while the table was being modified*.
+//
+// Run:  ./bgp_update_daemon [updates] [reader_threads]
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "benchkit/stats.hpp"
+#include "poptrie/poptrie.hpp"
+#include "workload/datasets.hpp"
+#include "workload/updatefeed.hpp"
+#include "workload/xorshift.hpp"
+
+int main(int argc, char** argv)
+{
+    using netbase::Ipv4Addr;
+    const std::size_t n_updates =
+        argc > 1 ? static_cast<std::size_t>(std::atoi(argv[1])) : 23'446;
+    const unsigned n_readers = argc > 2 ? static_cast<unsigned>(std::atoi(argv[2])) : 2;
+
+    std::printf("loading RV-linx-p52-like table and compiling Poptrie18...\n");
+    auto specs = workload::routeviews_specs();
+    const auto& spec = specs[2];  // RV-linx-p52, the paper's update dataset
+    const auto routes = workload::make_table(spec);
+    rib::RadixTrie<Ipv4Addr> rib;
+    rib.insert_all(routes);
+    poptrie::Config cfg;
+    cfg.direct_bits = 18;
+    cfg.pool_headroom_log2 = 3;  // room for churn without pool growth
+    poptrie::Poptrie4 fib{rib, cfg};
+
+    workload::UpdateFeedConfig ucfg;
+    ucfg.updates = n_updates;
+    ucfg.next_hops = spec.config.next_hops;
+    const auto feed = workload::make_update_feed(routes, ucfg);
+    std::printf("feed: %zu updates (%s)\n", feed.size(), spec.name.c_str());
+
+    // Data plane: free-running readers.
+    std::atomic<bool> stop{false};
+    std::vector<std::uint64_t> reader_lookups(n_readers, 0);
+    std::vector<std::jthread> readers;
+    for (unsigned r = 0; r < n_readers; ++r) {
+        readers.emplace_back([&, r] {
+            auto slot = fib.register_reader();
+            workload::Xorshift128 rng(100 + r);
+            std::uint64_t count = 0;
+            std::uint64_t sink = 0;
+            while (!stop.load(std::memory_order_relaxed)) {
+                const psync::EbrDomain::Guard g{slot};
+                for (int i = 0; i < 1024; ++i) sink += fib.lookup_raw<true>(rng.next());
+                count += 1024;
+            }
+            reader_lookups[r] = count;
+            if (sink == 42) std::printf("!");  // consume
+        });
+    }
+
+    // Control plane: apply the feed, timing each update.
+    std::vector<std::uint64_t> latencies_ns;
+    latencies_ns.reserve(feed.size());
+    const auto t0 = std::chrono::steady_clock::now();
+    for (const auto& ev : feed) {
+        const auto u0 = std::chrono::steady_clock::now();
+        fib.apply(rib, ev.prefix, ev.next_hop);
+        latencies_ns.push_back(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - u0)
+                .count()));
+    }
+    const double total_secs =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    stop = true;
+    readers.clear();
+    fib.drain();
+
+    const benchkit::Percentiles lat(std::move(latencies_ns));
+    const auto& c = fib.update_counters();
+    std::printf("\napplied %llu updates in %.2f s: mean %.2f us, p50 %.2f us,"
+                " p99 %.2f us (paper mean: 2.51 us)\n",
+                static_cast<unsigned long long>(c.updates), total_secs, lat.mean() / 1e3,
+                lat.percentile(50) / 1e3, lat.percentile(99) / 1e3);
+    std::printf("replaced per update: %.3f direct slots, %.2f inodes, %.2f leaves"
+                " (paper: 0.041 / 0.48 / 6.05)\n",
+                static_cast<double>(c.direct_stores) / static_cast<double>(c.updates),
+                static_cast<double>(c.nodes_allocated) / static_cast<double>(c.updates),
+                static_cast<double>(c.leaves_allocated) / static_cast<double>(c.updates));
+    std::printf("pool growths (reader-unsafe events): %llu\n",
+                static_cast<unsigned long long>(c.pool_growths));
+
+    std::uint64_t total_lookups = 0;
+    for (const auto n : reader_lookups) total_lookups += n;
+    std::printf("\nreaders sustained %.1f Mlps aggregate *during* the update storm\n",
+                static_cast<double>(total_lookups) / total_secs / 1e6);
+
+    // Sanity: the FIB now matches the RIB everywhere (sampled).
+    workload::Xorshift128 rng(7);
+    std::size_t bad = 0;
+    for (int i = 0; i < 1'000'000; ++i) {
+        const Ipv4Addr a{rng.next()};
+        if (fib.lookup(a) != rib.lookup(a)) ++bad;
+    }
+    std::printf("post-feed consistency check vs RIB: %zu mismatches in 1M probes\n", bad);
+    return bad == 0 ? 0 : 1;
+}

@@ -1,0 +1,110 @@
+// fib_compression_report — a table-engineering tool built on the library:
+// given a (generated) routing table, reports how each §3 mechanism earns its
+// keep — route aggregation at the RIB level, leafvec compression, direct
+// pointing — and how every structure in the repository sizes up on the same
+// table. Useful for choosing a configuration for a given memory budget.
+//
+// Run:  ./fib_compression_report [routes] [next_hops]
+#include <cstdio>
+#include <cstdlib>
+
+#include "baselines/dir24.hpp"
+#include "baselines/dxr.hpp"
+#include "baselines/lulea.hpp"
+#include "baselines/sail.hpp"
+#include "baselines/treebitmap.hpp"
+#include "poptrie/poptrie.hpp"
+#include "rib/aggregate.hpp"
+#include "rib/patricia.hpp"
+#include "rib/table_stats.hpp"
+#include "workload/tablegen.hpp"
+
+int main(int argc, char** argv)
+{
+    using netbase::Ipv4Addr;
+    workload::TableGenConfig gen;
+    gen.target_routes =
+        argc > 1 ? static_cast<std::size_t>(std::atol(argv[1])) : 520'000;
+    gen.next_hops = argc > 2 ? static_cast<unsigned>(std::atoi(argv[2])) : 13;
+    gen.igp_routes = gen.target_routes / 35;
+
+    const auto routes = workload::generate_table(gen);
+    const auto stats = rib::compute_stats(routes);
+    std::printf("table: %zu prefixes, %zu next hops, longest /%u\n", stats.prefix_count,
+                stats.distinct_next_hops, stats.max_length);
+    std::printf("prefix length histogram (non-zero):\n  ");
+    for (unsigned l = 0; l <= 32; ++l)
+        if (stats.length_histogram[l] != 0)
+            std::printf("/%u:%zu  ", l, stats.length_histogram[l]);
+    std::printf("\n\n");
+
+    rib::RadixTrie<Ipv4Addr> rib;
+    rib.insert_all(routes);
+    const auto aggregated = rib::aggregate_routes(rib);
+    std::printf("route aggregation (S3): %zu -> %zu routes (-%.1f%%)\n", routes.size(),
+                aggregated.size(),
+                100.0 * (1.0 - static_cast<double>(aggregated.size()) /
+                                   static_cast<double>(routes.size())));
+
+    const auto mib = [](std::size_t bytes) {
+        return static_cast<double>(bytes) / 1048576.0;
+    };
+    std::printf("\nPoptrie configuration space (memory in MiB):\n");
+    std::printf("  %-28s %10s %10s %8s\n", "config", "inodes", "leaves", "MiB");
+    for (const bool leafvec : {false, true}) {
+        for (const bool agg : {false, true}) {
+            for (const unsigned s : {0u, 16u, 18u}) {
+                poptrie::Config cfg;
+                cfg.leaf_compression = leafvec;
+                cfg.route_aggregation = agg;
+                cfg.direct_bits = s;
+                const poptrie::Poptrie4 pt{rib, cfg};
+                const auto ps = pt.stats();
+                char name[64];
+                std::snprintf(name, sizeof name, "%s%s s=%u",
+                              leafvec ? "leafvec" : "basic  ", agg ? "+agg" : "    ", s);
+                std::printf("  %-28s %10zu %10zu %8.2f\n", name, ps.internal_nodes,
+                            ps.leaves, mib(ps.memory_bytes));
+            }
+        }
+    }
+
+    std::printf("\nall structures on the aggregated table:\n");
+    rib::RadixTrie<Ipv4Addr> fib_src;
+    fib_src.insert_all(aggregated);
+    std::printf("  %-24s %8.2f MiB\n", "Radix (raw RIB)", mib(rib.memory_bytes()));
+    {
+        rib::PatriciaTrie<Ipv4Addr> patricia;
+        patricia.insert_all(routes);
+        std::printf("  %-24s %8.2f MiB\n", "Patricia (raw RIB)", mib(patricia.memory_bytes()));
+    }
+    std::printf("  %-24s %8.2f MiB\n", "Tree BitMap (16-ary)",
+                mib(baselines::TreeBitmap16{fib_src}.memory_bytes()));
+    std::printf("  %-24s %8.2f MiB\n", "Tree BitMap (64-ary)",
+                mib(baselines::TreeBitmap64{fib_src}.memory_bytes()));
+    try {
+        std::printf("  %-24s %8.2f MiB\n", "SAIL",
+                    mib(baselines::Sail{fib_src}.memory_bytes()));
+    } catch (const baselines::StructuralLimit& e) {
+        std::printf("  %-24s %s\n", "SAIL", e.what());
+    }
+    try {
+        std::printf("  %-24s %8.2f MiB\n", "Lulea (1997)",
+                    mib(baselines::Lulea{fib_src}.memory_bytes()));
+    } catch (const baselines::StructuralLimit& e) {
+        std::printf("  %-24s %s\n", "Lulea (1997)", e.what());
+    }
+    try {
+        std::printf("  %-24s %8.2f MiB\n", "D18R",
+                    mib(baselines::Dxr{fib_src, {.direct_bits = 18}}.memory_bytes()));
+    } catch (const baselines::StructuralLimit& e) {
+        std::printf("  %-24s %s\n", "D18R", e.what());
+    }
+    try {
+        std::printf("  %-24s %8.2f MiB\n", "DIR-24-8",
+                    mib(baselines::Dir24{fib_src}.memory_bytes()));
+    } catch (const baselines::StructuralLimit& e) {
+        std::printf("  %-24s %s\n", "DIR-24-8", e.what());
+    }
+    return 0;
+}

@@ -1,0 +1,152 @@
+// lpm_repl — an interactive FIB workbench on stdin/stdout, tying the whole
+// public API together: table files, the generator, the incremental updater
+// and the statistics. Pipe commands in or type them:
+//
+//   $ ./lpm_repl my_table.txt          # or no argument for a generated table
+//   > lookup 8.8.8.8
+//   8.8.8.8 -> next hop 7 (matched via RIB: 8.0.0.0/9)
+//   > add 8.8.8.0/24 42
+//   > del 8.0.0.0/9
+//   > stats
+//   > bench 4000000
+//   > save /tmp/table.txt
+//   > quit
+#include <chrono>
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "poptrie/poptrie.hpp"
+#include "workload/tablegen.hpp"
+#include "workload/tableio.hpp"
+#include "workload/xorshift.hpp"
+
+namespace {
+
+void help()
+{
+    std::printf("commands:\n"
+                "  lookup <addr>        longest-prefix match\n"
+                "  add <prefix> <hop>   announce/replace a route (incremental update)\n"
+                "  del <prefix>         withdraw a route\n"
+                "  stats                table and FIB statistics\n"
+                "  bench [n]            n random lookups (default 4M)\n"
+                "  save <path>          write the table to a file\n"
+                "  help | quit\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv)
+{
+    using netbase::Ipv4Addr;
+
+    rib::RadixTrie<Ipv4Addr> rib;
+    if (argc > 1) {
+        try {
+            const auto routes = workload::load_table4_file(argv[1]);
+            rib.insert_all(routes);
+            std::printf("loaded %zu routes from %s\n", routes.size(), argv[1]);
+        } catch (const std::exception& e) {
+            std::fprintf(stderr, "error loading %s: %s\n", argv[1], e.what());
+            return 1;
+        }
+    } else {
+        workload::TableGenConfig gen;
+        gen.target_routes = 100'000;
+        gen.next_hops = 64;
+        gen.igp_routes = 4'000;
+        rib.insert_all(workload::generate_table(gen));
+        std::printf("no table file given: generated %zu synthetic routes\n",
+                    rib.route_count());
+    }
+    poptrie::Poptrie4 fib{rib};
+    std::printf("FIB compiled (Poptrie18). Type 'help' for commands.\n");
+
+    std::string line;
+    while (std::printf("> "), std::fflush(stdout), std::getline(std::cin, line)) {
+        std::istringstream in(line);
+        std::string cmd;
+        if (!(in >> cmd)) continue;
+        if (cmd == "quit" || cmd == "exit") break;
+        if (cmd == "help") {
+            help();
+        } else if (cmd == "lookup") {
+            std::string text;
+            in >> text;
+            const auto addr = netbase::parse_ipv4(text);
+            if (!addr) {
+                std::printf("malformed address '%s'\n", text.c_str());
+                continue;
+            }
+            const auto hop = fib.lookup(*addr);
+            const auto detail = rib.lookup_detail(*addr);
+            if (hop == rib::kNoRoute) {
+                std::printf("%s -> no route (radix searched %u bits deep)\n", text.c_str(),
+                            detail.radix_depth);
+            } else {
+                std::printf("%s -> next hop %u (matched /%u, radix depth %u)\n",
+                            text.c_str(), hop, detail.matched_length, detail.radix_depth);
+            }
+        } else if (cmd == "add") {
+            std::string ptext;
+            unsigned hop = 0;
+            in >> ptext >> hop;
+            const auto prefix = netbase::parse_prefix4(ptext);
+            if (!prefix || hop == 0 || hop > 0xFFFF) {
+                std::printf("usage: add <a.b.c.d/len> <hop 1..65535>\n");
+                continue;
+            }
+            fib.apply(rib, *prefix, static_cast<rib::NextHop>(hop));
+            std::printf("announced %s -> %u (%zu routes)\n",
+                        netbase::to_string(*prefix).c_str(), hop, rib.route_count());
+        } else if (cmd == "del") {
+            std::string ptext;
+            in >> ptext;
+            const auto prefix = netbase::parse_prefix4(ptext);
+            if (!prefix) {
+                std::printf("usage: del <a.b.c.d/len>\n");
+                continue;
+            }
+            const auto had = rib.find(*prefix) != rib::kNoRoute;
+            fib.apply(rib, *prefix, rib::kNoRoute);
+            std::printf(had ? "withdrawn %s (%zu routes)\n" : "%s was not present (%zu routes)\n",
+                        netbase::to_string(*prefix).c_str(), rib.route_count());
+        } else if (cmd == "stats") {
+            const auto s = fib.stats();
+            const auto& u = fib.update_counters();
+            std::printf("RIB: %zu routes, %zu radix nodes (%.2f MiB)\n", rib.route_count(),
+                        rib.node_count(),
+                        static_cast<double>(rib.memory_bytes()) / 1048576.0);
+            std::printf("FIB: %zu inodes, %zu leaves, %.2f MiB; %llu updates applied\n",
+                        s.internal_nodes, s.leaves,
+                        static_cast<double>(s.memory_bytes) / 1048576.0,
+                        static_cast<unsigned long long>(u.updates));
+        } else if (cmd == "bench") {
+            std::size_t n = 4'000'000;
+            in >> n;
+            workload::Xorshift128 rng(1);
+            std::uint64_t sink = 0;
+            const auto t0 = std::chrono::steady_clock::now();
+            for (std::size_t i = 0; i < n; ++i) sink += fib.lookup_raw<true>(rng.next());
+            const double secs =
+                std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+            std::printf("%zu random lookups in %.3f s = %.1f Mlps (checksum %llx)\n", n, secs,
+                        static_cast<double>(n) / secs / 1e6,
+                        static_cast<unsigned long long>(sink));
+        } else if (cmd == "save") {
+            std::string path;
+            in >> path;
+            try {
+                workload::save_table_file(path, rib.routes());
+                std::printf("saved %zu routes to %s\n", rib.route_count(), path.c_str());
+            } catch (const std::exception& e) {
+                std::printf("save failed: %s\n", e.what());
+            }
+        } else {
+            std::printf("unknown command '%s' (try 'help')\n", cmd.c_str());
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,68 @@
+// alloc/buddy_allocator.hpp — index-based buddy memory allocator.
+//
+// Poptrie stores internal nodes and leaves in two flat arrays and refers to
+// children by 32-bit *indices* (base0/base1), so its allocator must hand out
+// contiguous runs of array slots, not pointers. This is the classic buddy
+// system (Knowlton 1965), which the paper names as the allocator managing the
+// node and leaf arrays; its power-of-two coalescing is what keeps incremental
+// update (§3.5) from fragmenting the arrays.
+//
+// The allocator is a control-path structure: it is consulted on build and on
+// route update, never during lookup, so the per-order ordered free lists
+// favour clarity and strong invariants over nanosecond alloc cost.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <set>
+#include <vector>
+
+namespace alloc {
+
+/// Allocates contiguous runs of slots out of a pool of `capacity()` slots.
+/// Run sizes are rounded up to powers of two internally; `free` must be given
+/// the same count that was passed to `allocate`.
+class BuddyAllocator {
+public:
+    using index_type = std::uint32_t;
+
+    /// Creates an allocator over `capacity` slots, rounded up to a power of
+    /// two (minimum 1).
+    explicit BuddyAllocator(index_type capacity);
+
+    /// Allocates a contiguous run of at least `count` slots (count >= 1).
+    /// Returns the index of the first slot, or nullopt if the pool cannot
+    /// satisfy the request.
+    [[nodiscard]] std::optional<index_type> allocate(index_type count);
+
+    /// Returns the run starting at `offset` that was allocated with the same
+    /// `count`. Freeing an unallocated or mismatched run is a programming
+    /// error and asserts in debug builds.
+    void free(index_type offset, index_type count);
+
+    /// Doubles the pool. New slots become immediately allocatable. Existing
+    /// allocations are unaffected (indices are stable).
+    void grow();
+
+    /// Total slots managed (always a power of two).
+    [[nodiscard]] index_type capacity() const noexcept { return capacity_; }
+
+    /// Slots currently handed out (in rounded power-of-two units).
+    [[nodiscard]] index_type used() const noexcept { return used_; }
+
+    /// Largest run currently allocatable, 0 if the pool is full.
+    [[nodiscard]] index_type largest_free_run() const noexcept;
+
+    /// True if every slot is free (useful as a leak check in tests).
+    [[nodiscard]] bool all_free() const noexcept { return used_ == 0; }
+
+private:
+    static unsigned order_for(index_type count) noexcept;
+
+    // free_lists_[k] holds offsets of free blocks of size 2^k.
+    std::vector<std::set<index_type>> free_lists_;
+    index_type capacity_ = 0;
+    index_type used_ = 0;
+};
+
+}  // namespace alloc

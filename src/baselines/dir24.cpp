@@ -1,0 +1,54 @@
+#include "baselines/dir24.hpp"
+
+#include "baselines/flatten.hpp"
+
+namespace baselines {
+
+Dir24::Dir24(const rib::RadixTrie<netbase::Ipv4Addr>& rib)
+{
+    const auto runs = flatten(rib);
+    tbl24_.assign(std::size_t{1} << 24, rib::kNoRoute);
+
+    std::size_t i = 0;
+    rib::NextHop carried = rib::kNoRoute;
+    for (std::uint32_t b24 = 0; b24 < (1u << 24); ++b24) {
+        const std::uint32_t lo = b24 << 8;
+        const std::size_t first = i;
+        while (i < runs.size() && (runs[i].start >> 8) == b24) ++i;
+        const std::size_t last = i;
+
+        bool uniform = true;
+        rib::NextHop v = carried;
+        {
+            std::size_t j = first;
+            if (j < last && runs[j].start == lo) {
+                v = runs[j].next_hop;
+                ++j;
+            }
+            uniform = (j == last);
+        }
+        if (uniform) {
+            if (v > kPayloadMask) throw StructuralLimit("DIR-24-8: next hop exceeds 15 bits");
+            tbl24_[b24] = v;
+        } else {
+            if (chunks_ >= kPayloadMask)
+                throw StructuralLimit("DIR-24-8: more than 2^15 second-level chunks");
+            const auto chunk = static_cast<std::uint16_t>(chunks_++);
+            tbl24_[b24] = static_cast<std::uint16_t>(kChunkFlag | chunk);
+            tbl8_.resize(chunks_ * 256, rib::kNoRoute);
+            const std::size_t base = std::size_t{chunk} * 256;
+            std::size_t j = first;
+            rib::NextHop cur = carried;
+            for (std::uint32_t a = 0; a < 256; ++a) {
+                while (j < last && runs[j].start == (lo | a)) {
+                    cur = runs[j].next_hop;
+                    ++j;
+                }
+                tbl8_[base + a] = cur;
+            }
+        }
+        if (last > first) carried = runs[last - 1].next_hop;
+    }
+}
+
+}  // namespace baselines

@@ -1,0 +1,52 @@
+// baselines/dir24.hpp — DIR-24-8-BASIC (Gupta, Lin, McKeown 1998).
+//
+// The ancestor of every "direct pointing" scheme (§2, §3.4): a full 2^24
+// table resolves all prefixes up to /24 in one access; longer prefixes spill
+// into 256-entry second-level chunks. Entries are 16 bits: MSB clear → next
+// hop; MSB set → chunk id. Included as the reference point for the direct-
+// pointing ablation bench.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "baselines/dxr.hpp"  // StructuralLimit
+#include "rib/radix_trie.hpp"
+#include "rib/route.hpp"
+
+namespace baselines {
+
+/// DIR-24-8-BASIC for IPv4.
+class Dir24 {
+public:
+    Dir24() = default;
+
+    /// Compiles from the RIB. Throws StructuralLimit when more than 2^15
+    /// second-level chunks are needed or a next hop exceeds 15 bits.
+    explicit Dir24(const rib::RadixTrie<netbase::Ipv4Addr>& rib);
+
+    /// Longest-prefix match; rib::kNoRoute on miss.
+    [[nodiscard]] rib::NextHop lookup(netbase::Ipv4Addr addr) const noexcept
+    {
+        const std::uint32_t key = addr.value();
+        const std::uint16_t e = tbl24_[key >> 8];
+        if ((e & kChunkFlag) == 0) return e;
+        return tbl8_[(static_cast<std::uint32_t>(e & kPayloadMask) << 8) | (key & 0xFF)];
+    }
+
+    [[nodiscard]] std::size_t chunk_count() const noexcept { return chunks_; }
+    [[nodiscard]] std::size_t memory_bytes() const noexcept
+    {
+        return tbl24_.size() * 2 + tbl8_.size() * 2;
+    }
+
+private:
+    static constexpr std::uint16_t kChunkFlag = 0x8000;
+    static constexpr std::uint16_t kPayloadMask = 0x7FFF;
+
+    std::vector<std::uint16_t> tbl24_;   // 2^24 entries
+    std::vector<rib::NextHop> tbl8_;     // chunks x 256
+    std::size_t chunks_ = 0;
+};
+
+}  // namespace baselines

@@ -1,0 +1,117 @@
+#include "baselines/dxr.hpp"
+
+#include <string>
+
+#include "baselines/flatten.hpp"
+
+namespace baselines {
+namespace {
+
+// Slices the global run list into per-chunk ranges, invoking
+// `emit(chunk, first, count)` where [first, first+count) indexes a scratch
+// vector of (suffix_start, next_hop) pairs passed to `ranges`.
+template <class Addr, class Emit>
+void slice_chunks(const std::vector<Run<Addr>>& runs, unsigned direct_bits,
+                  std::vector<Run<Addr>>& chunk_ranges, Emit&& emit)
+{
+    using value_type = typename Addr::value_type;
+    const unsigned suffix_bits = Addr::kWidth - direct_bits;
+    const std::uint64_t n_chunks = std::uint64_t{1} << direct_bits;
+    std::size_t i = 0;
+    rib::NextHop current = rib::kNoRoute;
+    for (std::uint64_t c = 0; c < n_chunks; ++c) {
+        const value_type lo = static_cast<value_type>(static_cast<value_type>(c)
+                                                      << suffix_bits);
+        chunk_ranges.clear();
+        chunk_ranges.push_back({value_type{0}, current});
+        while (i < runs.size()) {
+            const value_type start = runs[i].start;
+            if ((start >> suffix_bits) != static_cast<value_type>(c)) break;
+            const value_type suffix = static_cast<value_type>(start - lo);
+            if (suffix == 0)
+                chunk_ranges.back() = {value_type{0}, runs[i].next_hop};
+            else
+                chunk_ranges.push_back({suffix, runs[i].next_hop});
+            current = runs[i].next_hop;
+            ++i;
+        }
+        emit(c, chunk_ranges);
+    }
+}
+
+}  // namespace
+
+Dxr::Dxr(const rib::RadixTrie<netbase::Ipv4Addr>& rib, const DxrOptions& opt)
+    : suffix_bits_(32 - opt.direct_bits), modified_(opt.modified)
+{
+    base_mask_ = opt.modified ? (1u << 20) - 1 : (1u << 19) - 1;
+    direct_.assign(std::size_t{1} << opt.direct_bits, 0);
+
+    const auto runs = flatten(rib);
+    std::vector<Run<netbase::Ipv4Addr>> chunk;
+    slice_chunks(runs, opt.direct_bits, chunk, [&](std::uint64_t c, const auto& ranges) {
+        if (ranges.size() == 1) {  // single next hop: encode it directly
+            direct_[c] = std::uint32_t{ranges[0].next_hop} << kBaseShift;
+            return;
+        }
+        if (ranges.size() > kCountMask)
+            throw StructuralLimit("DXR: chunk " + std::to_string(c) + " needs " +
+                                  std::to_string(ranges.size()) +
+                                  " ranges, exceeding the 12-bit count field");
+        // Short format: boundaries aligned to 2^(suffix_bits-8) and next hops
+        // that fit one byte.
+        bool short_ok = !modified_ && suffix_bits_ > 8;
+        if (short_ok) {
+            const std::uint32_t align = (1u << (suffix_bits_ - 8)) - 1;
+            for (const auto& r : ranges) {
+                if ((r.start & align) != 0 || r.next_hop > 0xFF) {
+                    short_ok = false;
+                    break;
+                }
+            }
+        }
+        std::uint32_t base;
+        if (short_ok) {
+            base = static_cast<std::uint32_t>(short_ranges_.size());
+            for (const auto& r : ranges)
+                short_ranges_.push_back(
+                    {static_cast<std::uint8_t>(r.start >> (suffix_bits_ - 8)),
+                     static_cast<std::uint8_t>(r.next_hop)});
+        } else {
+            base = static_cast<std::uint32_t>(long_ranges_.size());
+            for (const auto& r : ranges)
+                long_ranges_.push_back(
+                    {static_cast<std::uint16_t>(r.start), r.next_hop});
+        }
+        if (base > base_mask_)
+            throw StructuralLimit(
+                "DXR: range table exceeds 2^" + std::to_string(modified_ ? 20 : 19) +
+                " entries (the structural limit of §4.8)" +
+                (modified_ ? "" : "; retry with DxrOptions{.modified = true}"));
+        direct_[c] = (short_ok ? kShortFlag : 0u) | (base << kBaseShift) |
+                     static_cast<std::uint32_t>(ranges.size());
+    });
+}
+
+Dxr6::Dxr6(const rib::RadixTrie<netbase::Ipv6Addr>& rib, unsigned direct_bits)
+    : suffix_bits_(128 - direct_bits)
+{
+    direct_.assign(std::size_t{1} << direct_bits, Entry{});
+    const auto runs = flatten(rib);
+    std::vector<Run<netbase::Ipv6Addr>> chunk;
+    slice_chunks(runs, direct_bits, chunk, [&](std::uint64_t c, const auto& ranges) {
+        if (ranges.size() == 1) {
+            direct_[c] = Entry{0, 0, ranges[0].next_hop};
+            return;
+        }
+        // The paper widens the per-chunk count by one bit for IPv6: 2^13.
+        if (ranges.size() > (1u << 13))
+            throw StructuralLimit("DXR6: chunk " + std::to_string(c) +
+                                  " exceeds 2^13 ranges");
+        const auto base = static_cast<std::uint32_t>(ranges_.size());
+        for (const auto& r : ranges) ranges_.push_back({r.start, r.next_hop});
+        direct_[c] = Entry{base, static_cast<std::uint16_t>(ranges.size()), rib::kNoRoute};
+    });
+}
+
+}  // namespace baselines

@@ -1,0 +1,193 @@
+// baselines/dxr.hpp — DXR (Zec, Rizzo, Mikuc 2012): direct table + binary
+// search over per-chunk address ranges.
+//
+// The strongest competitor in the paper's evaluation ("D16R"/"D18R"). The
+// IPv4 address space is cut into 2^k chunks by the top k bits; within a
+// chunk, the routing table is flattened into a sorted array of half-open
+// address ranges, each carrying one next hop. Lookup: one direct-table read
+// plus a binary search over the chunk's ranges — the binary search on long
+// prefixes is DXR's bottleneck (§2, §4.6).
+//
+// Encoding (faithful to the published structural limits):
+//   direct-table entry (u32): [31] short-format flag | [30:12] range base
+//   (19 bits) | [11:0] range count. Count == 0 means the whole chunk has a
+//   single next hop stored in the base field. The 19-bit base is the 2^19
+//   total-range limit §4.8 cites; the "modified" variant absorbs the
+//   short-format flag into the base (20 bits, long format only), exactly the
+//   extension the paper made to let DXR compile the SYN2 tables.
+//   Long range: {u16 start, u16 next_hop}; short range: {u8 start, u8
+//   next_hop}, usable when every boundary in the chunk is aligned to
+//   2^(suffix_bits - 8) and every next hop fits a byte.
+//
+// Build failures (range-table overflow, too many ranges in a chunk) are
+// reported via StructuralLimit, mirroring §4.8's "DXR also exceeds its
+// structural limitation".
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "netbase/bits.hpp"
+#include "rib/radix_trie.hpp"
+#include "rib/route.hpp"
+
+namespace baselines {
+
+/// Thrown when a table exceeds a structure's encoding limits (DXR range
+/// index width, SAIL chunk-id width, ...). Carries a human-readable reason.
+class StructuralLimit : public std::runtime_error {
+public:
+    using std::runtime_error::runtime_error;
+};
+
+/// DXR variants: which direct-table width, and whether the modified
+/// (20-bit-base, long-format-only) encoding is used.
+struct DxrOptions {
+    unsigned direct_bits = 18;  ///< k: 16 → D16R, 18 → D18R
+    bool modified = false;      ///< §4.8's extension for > 2^19 ranges
+};
+
+/// IPv4 DXR.
+class Dxr {
+public:
+    Dxr() = default;
+
+    /// Compiles from the RIB. Throws StructuralLimit when the table does not
+    /// fit the encoding (the paper's SYN2 case for unmodified DXR).
+    explicit Dxr(const rib::RadixTrie<netbase::Ipv4Addr>& rib, const DxrOptions& opt = {});
+
+    /// Longest-prefix match; rib::kNoRoute on miss.
+    [[nodiscard]] rib::NextHop lookup(netbase::Ipv4Addr addr) const noexcept
+    {
+        const std::uint32_t key = addr.value();
+        const std::uint32_t entry = direct_[key >> suffix_bits_];
+        const std::uint32_t count = entry & kCountMask;
+        if (count == 0) return static_cast<rib::NextHop>((entry >> kBaseShift) & 0xFFFF);
+        const std::uint32_t suffix = key & ((1u << suffix_bits_) - 1);
+        const std::uint32_t base = (entry >> kBaseShift) & base_mask_;
+        if (!modified_ && (entry & kShortFlag)) {
+            const auto s = static_cast<std::uint8_t>(suffix >> (suffix_bits_ - 8));
+            return find_short(base, count, s);
+        }
+        return find_long(base, count, static_cast<std::uint16_t>(suffix));
+    }
+
+    [[nodiscard]] std::size_t range_count() const noexcept
+    {
+        return long_ranges_.size() + short_ranges_.size();
+    }
+    [[nodiscard]] std::size_t memory_bytes() const noexcept
+    {
+        return direct_.size() * sizeof(std::uint32_t) +
+               long_ranges_.size() * sizeof(LongRange) +
+               short_ranges_.size() * sizeof(ShortRange);
+    }
+
+private:
+    struct LongRange {
+        std::uint16_t start;
+        std::uint16_t next_hop;
+    };
+    struct ShortRange {
+        std::uint8_t start;
+        std::uint8_t next_hop;
+    };
+
+    static constexpr std::uint32_t kCountMask = 0xFFF;  // 12-bit range count
+    static constexpr unsigned kBaseShift = 12;
+    static constexpr std::uint32_t kShortFlag = 0x8000'0000u;
+
+    [[nodiscard]] rib::NextHop find_long(std::uint32_t base, std::uint32_t count,
+                                         std::uint16_t suffix) const noexcept
+    {
+        // Binary search for the last range with start <= suffix.
+        std::uint32_t lo = 0;
+        std::uint32_t hi = count;
+        while (hi - lo > 1) {
+            const std::uint32_t mid = (lo + hi) / 2;
+            if (long_ranges_[base + mid].start <= suffix)
+                lo = mid;
+            else
+                hi = mid;
+        }
+        return long_ranges_[base + lo].next_hop;
+    }
+
+    [[nodiscard]] rib::NextHop find_short(std::uint32_t base, std::uint32_t count,
+                                          std::uint8_t suffix) const noexcept
+    {
+        std::uint32_t lo = 0;
+        std::uint32_t hi = count;
+        while (hi - lo > 1) {
+            const std::uint32_t mid = (lo + hi) / 2;
+            if (short_ranges_[base + mid].start <= suffix)
+                lo = mid;
+            else
+                hi = mid;
+        }
+        return short_ranges_[base + lo].next_hop;
+    }
+
+    std::vector<std::uint32_t> direct_;
+    std::vector<LongRange> long_ranges_;
+    std::vector<ShortRange> short_ranges_;
+    unsigned suffix_bits_ = 14;  // 32 - direct_bits
+    std::uint32_t base_mask_ = (1u << 19) - 1;
+    bool modified_ = false;
+};
+
+/// IPv6 DXR, the paper's §4.10 extension: same direct-table-plus-ranges
+/// design over the top k bits, with the range boundaries widened to the full
+/// 112/110-bit suffix (long format only, as the paper disables the short
+/// format for IPv6). Range entries are therefore 16-byte {u128 start, u16
+/// next hop} records — a documented substitution for the paper's unspecified
+/// packing.
+class Dxr6 {
+public:
+    Dxr6() = default;
+    explicit Dxr6(const rib::RadixTrie<netbase::Ipv6Addr>& rib, unsigned direct_bits = 18);
+
+    [[nodiscard]] rib::NextHop lookup(netbase::Ipv6Addr addr) const noexcept
+    {
+        const netbase::u128 key = addr.value();
+        const auto idx = static_cast<std::size_t>(key >> suffix_bits_);
+        const Entry e = direct_[idx];
+        if (e.count == 0) return e.next_hop;
+        const netbase::u128 suffix =
+            key & ((netbase::u128{1} << suffix_bits_) - 1);
+        std::uint32_t lo = 0;
+        std::uint32_t hi = e.count;
+        while (hi - lo > 1) {
+            const std::uint32_t mid = (lo + hi) / 2;
+            if (ranges_[e.base + mid].start <= suffix)
+                lo = mid;
+            else
+                hi = mid;
+        }
+        return ranges_[e.base + lo].next_hop;
+    }
+
+    [[nodiscard]] std::size_t range_count() const noexcept { return ranges_.size(); }
+    [[nodiscard]] std::size_t memory_bytes() const noexcept
+    {
+        return direct_.size() * sizeof(Entry) + ranges_.size() * sizeof(Range);
+    }
+
+private:
+    struct Entry {
+        std::uint32_t base = 0;
+        std::uint16_t count = 0;
+        rib::NextHop next_hop = rib::kNoRoute;
+    };
+    struct Range {
+        netbase::u128 start;
+        rib::NextHop next_hop;
+    };
+
+    std::vector<Entry> direct_;
+    std::vector<Range> ranges_;
+    unsigned suffix_bits_ = 110;
+};
+
+}  // namespace baselines

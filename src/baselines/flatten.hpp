@@ -1,0 +1,54 @@
+// baselines/flatten.hpp — flattening a radix RIB into resolution runs.
+//
+// Several baselines (DXR, DIR-24-8, SAIL) are built from the *resolution
+// function* of the table rather than its trie shape: the address space as a
+// sorted list of maximal runs [start, next_start) that resolve to a single
+// next hop. One DFS over the radix trie produces them in address order.
+#pragma once
+
+#include <vector>
+
+#include "rib/radix_trie.hpp"
+#include "rib/route.hpp"
+
+namespace baselines {
+
+/// One maximal run: addresses from `start` up to the next run's start (or
+/// the end of the address space) resolve to `next_hop`.
+template <class Addr>
+struct Run {
+    typename Addr::value_type start;
+    rib::NextHop next_hop;
+};
+
+/// Flattens `rib` into runs covering the entire address space, in ascending
+/// order, adjacent runs guaranteed to differ in next hop. The first run
+/// always starts at address 0 (with kNoRoute if nothing covers it). An empty
+/// table yields a single kNoRoute run.
+template <class Addr>
+[[nodiscard]] std::vector<Run<Addr>> flatten(const rib::RadixTrie<Addr>& rib)
+{
+    using value_type = typename Addr::value_type;
+    using Node = typename rib::RadixTrie<Addr>::Node;
+    std::vector<Run<Addr>> runs;
+    auto emit = [&](value_type base, rib::NextHop nh) {
+        if (runs.empty() || runs.back().next_hop != nh) runs.push_back({base, nh});
+    };
+    // Iterative DFS would also do; recursion depth is bounded by the address
+    // width (<= 128).
+    auto rec = [&](auto&& self, const Node* n, rib::NextHop inherited, value_type base,
+                   unsigned depth) -> void {
+        if (n != nullptr && n->has_route) inherited = n->next_hop;
+        if (n == nullptr || (n->child[0] == nullptr && n->child[1] == nullptr)) {
+            emit(base, inherited);
+            return;
+        }
+        const value_type half = value_type{1} << (Addr::kWidth - 1 - depth);
+        self(self, n->child[0].get(), inherited, base, depth + 1);
+        self(self, n->child[1].get(), inherited, base | half, depth + 1);
+    };
+    rec(rec, rib.root(), rib::kNoRoute, value_type{0}, 0);
+    return runs;
+}
+
+}  // namespace baselines

@@ -1,0 +1,34 @@
+#include "baselines/linear.hpp"
+
+#include <map>
+
+namespace baselines {
+
+template <class Addr>
+LinearLpm<Addr>::LinearLpm(const rib::RouteList<Addr>& routes)
+{
+    // Deduplicate with replace semantics: the last occurrence of a prefix wins.
+    std::map<netbase::Prefix<Addr>, rib::NextHop> dedup;
+    for (const auto& r : routes) dedup[r.prefix] = r.next_hop;
+    routes_.reserve(dedup.size());
+    for (const auto& [p, nh] : dedup) routes_.push_back({p, nh});
+}
+
+template <class Addr>
+rib::NextHop LinearLpm<Addr>::lookup(Addr addr) const noexcept
+{
+    int best_len = -1;
+    rib::NextHop best = rib::kNoRoute;
+    for (const auto& r : routes_) {
+        if (static_cast<int>(r.prefix.length()) > best_len && r.prefix.contains(addr)) {
+            best_len = static_cast<int>(r.prefix.length());
+            best = r.next_hop;
+        }
+    }
+    return best;
+}
+
+template class LinearLpm<netbase::Ipv4Addr>;
+template class LinearLpm<netbase::Ipv6Addr>;
+
+}  // namespace baselines

@@ -1,0 +1,39 @@
+// baselines/linear.hpp — O(n) longest-prefix scan.
+//
+// Correctness oracle only: the tests validate every real structure against
+// it on small tables where its cost is irrelevant. It is deliberately the
+// dumbest possible implementation so that it is obviously correct.
+#pragma once
+
+#include <vector>
+
+#include "rib/route.hpp"
+
+namespace baselines {
+
+/// Linear-scan LPM over an explicit route list.
+template <class Addr>
+class LinearLpm {
+public:
+    LinearLpm() = default;
+
+    /// Builds from a route list (later duplicates of a prefix win, matching
+    /// RadixTrie::insert's replace semantics).
+    explicit LinearLpm(const rib::RouteList<Addr>& routes);
+
+    /// Longest-prefix match; rib::kNoRoute on miss.
+    [[nodiscard]] rib::NextHop lookup(Addr addr) const noexcept;
+
+    [[nodiscard]] std::size_t route_count() const noexcept { return routes_.size(); }
+
+private:
+    rib::RouteList<Addr> routes_;  // deduplicated, any order
+};
+
+using LinearLpm4 = LinearLpm<netbase::Ipv4Addr>;
+using LinearLpm6 = LinearLpm<netbase::Ipv6Addr>;
+
+extern template class LinearLpm<netbase::Ipv4Addr>;
+extern template class LinearLpm<netbase::Ipv6Addr>;
+
+}  // namespace baselines

@@ -1,0 +1,131 @@
+#include "baselines/lulea.hpp"
+
+#include <array>
+#include <string>
+
+#include "baselines/flatten.hpp"
+
+namespace baselines {
+namespace {
+
+// Compresses per-position pointer words into a head vector: a head starts
+// wherever the word differs from its predecessor; codeword offsets and
+// group bases make the head count before any position a popcount away.
+template <unsigned kBits, class HeadVector>
+void compress(HeadVector& hv, const std::uint16_t* words,
+              std::vector<std::uint16_t>& pointers)
+{
+    hv.pointer_base = static_cast<std::uint32_t>(pointers.size());
+    std::uint32_t count = 0;
+    for (std::uint32_t pos = 0; pos < kBits; ++pos) {
+        if ((pos & 63) == 0) hv.base[pos >> 6] = count;
+        if ((pos & 15) == 0) {
+            hv.offset[pos >> 4] = static_cast<std::uint16_t>(count - hv.base[pos >> 6]);
+            hv.mask[pos >> 4] = 0;
+        }
+        if (pos == 0 || words[pos] != words[pos - 1]) {
+            hv.mask[pos >> 4] |= static_cast<std::uint16_t>(1u << (pos & 15));
+            pointers.push_back(words[pos]);
+            ++count;
+        }
+    }
+}
+
+std::uint16_t leaf_word(rib::NextHop nh)
+{
+    if (nh > 0x7FFF) throw StructuralLimit("Lulea: next hop exceeds the 15-bit payload");
+    return static_cast<std::uint16_t>(0x8000 | nh);
+}
+
+}  // namespace
+
+Lulea::Lulea(const rib::RadixTrie<netbase::Ipv4Addr>& rib)
+{
+    const auto runs = flatten(rib);
+
+    // Per-/16-block pointer words, then compress into the level-16 vector.
+    std::vector<std::uint16_t> words16(std::size_t{1} << 16);
+    std::size_t i = 0;
+    rib::NextHop carried = rib::kNoRoute;
+    for (std::uint32_t b16 = 0; b16 < (1u << 16); ++b16) {
+        const std::uint32_t lo16 = b16 << 16;
+        const std::size_t first16 = i;
+        while (i < runs.size() && (runs[i].start >> 16) == b16) ++i;
+        const std::size_t last16 = i;
+        bool uniform16 = true;
+        rib::NextHop v16 = carried;
+        {
+            std::size_t j = first16;
+            if (j < last16 && runs[j].start == lo16) {
+                v16 = runs[j].next_hop;
+                ++j;
+            }
+            uniform16 = (j == last16);
+        }
+        if (uniform16) {
+            words16[b16] = leaf_word(v16);
+            if (last16 > first16) carried = runs[last16 - 1].next_hop;
+            continue;
+        }
+
+        // Mixed /16 block: one level-24 chunk of 256 per-/24 pointer words.
+        if (chunks24_.size() >= 0x8000)
+            throw StructuralLimit("Lulea: more than 2^15 level-24 chunks");
+        std::array<std::uint16_t, 256> words24{};
+        std::size_t j = first16;
+        rib::NextHop carried24 = carried;
+        for (std::uint32_t b24 = 0; b24 < 256; ++b24) {
+            const std::uint32_t lo24 = lo16 | (b24 << 8);
+            const std::size_t first24 = j;
+            while (j < last16 && (runs[j].start >> 8) == (lo24 >> 8)) ++j;
+            const std::size_t last24 = j;
+            bool uniform24 = true;
+            rib::NextHop v24 = carried24;
+            {
+                std::size_t t = first24;
+                if (t < last24 && runs[t].start == lo24) {
+                    v24 = runs[t].next_hop;
+                    ++t;
+                }
+                uniform24 = (t == last24);
+            }
+            if (uniform24) {
+                words24[b24] = leaf_word(v24);
+            } else {
+                // Mixed /24 block: a level-32 chunk of 256 host pointers.
+                if (chunks32_.size() >= 0x8000)
+                    throw StructuralLimit("Lulea: more than 2^15 level-32 chunks");
+                std::array<std::uint16_t, 256> words32{};
+                std::size_t t = first24;
+                rib::NextHop cur = carried24;
+                for (std::uint32_t a = 0; a < 256; ++a) {
+                    while (t < last24 && runs[t].start == (lo24 | a)) {
+                        cur = runs[t].next_hop;
+                        ++t;
+                    }
+                    words32[a] = leaf_word(cur);
+                }
+                Chunk c32{};
+                compress<256>(c32, words32.data(), pointers32_);
+                words24[b24] = static_cast<std::uint16_t>(chunks32_.size());
+                chunks32_.push_back(c32);
+            }
+            if (last24 > first24) carried24 = runs[last24 - 1].next_hop;
+        }
+        Chunk c24{};
+        compress<256>(c24, words24.data(), pointers24_);
+        words16[b16] = static_cast<std::uint16_t>(chunks24_.size());
+        chunks24_.push_back(c24);
+        carried = carried24;
+    }
+    compress<(1u << 16)>(level16_, words16.data(), pointers16_);
+}
+
+std::size_t Lulea::memory_bytes() const noexcept
+{
+    return sizeof(Level16) + chunks24_.size() * sizeof(Chunk) +
+           chunks32_.size() * sizeof(Chunk) +
+           (pointers16_.size() + pointers24_.size() + pointers32_.size()) * 2;
+}
+
+}  // namespace baselines

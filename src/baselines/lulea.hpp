@@ -1,0 +1,108 @@
+// baselines/lulea.hpp — Lulea-style compressed lookup table
+// (Degermark, Brodnik, Carlsson, Pink: "Small Forwarding Tables for Fast
+// Routing Lookups", SIGCOMM 1997).
+//
+// The §2 ancestor of every popcount-compressed structure in this
+// repository: the address space is cut at levels 16/24/32; each level keeps
+// a *head bit vector* marking where the resolution changes, and the dense
+// array of per-head pointers is indexed by counting the set bits before the
+// queried position. Lulea's signature trick — the reason it predates and
+// prefigures Poptrie's vector/base1 — is how that count is obtained without
+// scanning: the bit vector is split into 16-bit codeword masks, each
+// codeword carries a small offset relative to a base index stored every
+// four codewords, and a popcount of the masked codeword finishes the job.
+//
+//     index = base[pos >> 6] + offset[pos >> 4] + popcount(mask[pos >> 4]
+//                                                          & below(pos))
+//
+// Documented simplifications versus the 1997 paper (which targeted 1997-era
+// memory budgets): next-hop pointers are plain 16-bit words rather than
+// variable-width, and levels 2/3 reuse the same codeword scheme per 256-wide
+// chunk instead of the original's three chunk densities. The compression
+// *mechanism* — heads + codewords + popcount — is the original's.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "baselines/dxr.hpp"  // StructuralLimit
+#include "netbase/bits.hpp"
+#include "rib/radix_trie.hpp"
+#include "rib/route.hpp"
+
+namespace baselines {
+
+/// Lulea-style three-level (16/24/32) compressed LPM table for IPv4.
+class Lulea {
+public:
+    Lulea() = default;
+
+    /// Compiles from the RIB. Throws StructuralLimit if a next hop exceeds
+    /// 15 bits or more than 2^15 chunks are needed at a level.
+    explicit Lulea(const rib::RadixTrie<netbase::Ipv4Addr>& rib);
+
+    /// Longest-prefix match; rib::kNoRoute on miss.
+    [[nodiscard]] rib::NextHop lookup(netbase::Ipv4Addr addr) const noexcept
+    {
+        const std::uint32_t key = addr.value();
+        std::uint16_t e = level16_.pointer_at(key >> 16, pointers16_.data());
+        if (e & kLeafFlag) return static_cast<rib::NextHop>(e & kPayloadMask);
+        e = chunks24_[e].pointer_at((key >> 8) & 0xFF, pointers24_.data());
+        if (e & kLeafFlag) return static_cast<rib::NextHop>(e & kPayloadMask);
+        return static_cast<rib::NextHop>(
+            chunks32_[e].pointer_at(key & 0xFF, pointers32_.data()) & kPayloadMask);
+    }
+
+    [[nodiscard]] std::size_t level24_chunks() const noexcept { return chunks24_.size(); }
+    [[nodiscard]] std::size_t level32_chunks() const noexcept { return chunks32_.size(); }
+    [[nodiscard]] std::size_t memory_bytes() const noexcept;
+
+private:
+    static constexpr std::uint16_t kLeafFlag = 0x8000;
+    static constexpr std::uint16_t kPayloadMask = 0x7FFF;
+
+    // One compressed head-bit-vector of `kBits` positions with codeword
+    // indexing. Pointers live in a shared per-level array; `pointer_base`
+    // is this vector's first pointer.
+    template <unsigned kBits>
+    struct HeadVector {
+        static constexpr unsigned kWords = kBits / 16;
+        std::uint16_t mask[kWords];         // head bits, 16 per codeword
+        std::uint16_t offset[kWords];       // heads before this word, relative to base
+        std::uint32_t base[(kWords + 3) / 4];  // heads before each 4-word group
+        std::uint32_t pointer_base = 0;
+
+        /// Pointer for position `pos`: the entry of the nearest head at or
+        /// before pos.
+        [[nodiscard]] std::uint16_t pointer_at(std::uint32_t pos,
+                                               const std::uint16_t* pointers) const noexcept
+        {
+            const std::uint32_t word = pos >> 4;
+            const auto below =
+                static_cast<std::uint16_t>(netbase::low_mask_inclusive(pos & 15));
+            const auto in_word = static_cast<std::uint32_t>(
+                netbase::popcount64(static_cast<std::uint64_t>(mask[word] & below)));
+            const std::uint32_t heads_before = base[word >> 2] + offset[word] + in_word;
+            return pointers[pointer_base + heads_before - 1];
+        }
+    };
+
+    using Level16 = HeadVector<1u << 16>;
+    using Chunk = HeadVector<256>;
+
+    // Builds one head vector from the resolution runs of its span and
+    // appends its pointers; `make_pointer(run_index)` supplies each head's
+    // pointer word.
+    template <unsigned kBits, class MakePointer>
+    static void build_vector(HeadVector<kBits>& hv, const std::vector<std::uint16_t>& heads,
+                             std::vector<std::uint16_t>& pointers, MakePointer&& make_pointer);
+
+    Level16 level16_{};
+    std::vector<Chunk> chunks24_;
+    std::vector<Chunk> chunks32_;
+    std::vector<std::uint16_t> pointers16_;
+    std::vector<std::uint16_t> pointers24_;
+    std::vector<std::uint16_t> pointers32_;
+};
+
+}  // namespace baselines

@@ -1,0 +1,96 @@
+#include "baselines/sail.hpp"
+
+#include <string>
+
+#include "baselines/flatten.hpp"
+
+namespace baselines {
+
+Sail::Sail(const rib::RadixTrie<netbase::Ipv4Addr>& rib)
+{
+    const auto runs = flatten(rib);
+    bcn16_.assign(std::size_t{1} << 16, kLeafFlag);  // leaf, next hop 0 = miss
+    bcn24_.assign(std::size_t{1} << 24, kLeafFlag);
+
+    const auto check_hop = [](rib::NextHop nh) {
+        if (nh > kPayloadMask)
+            throw StructuralLimit("SAIL: next hop exceeds the 15-bit payload");
+        return static_cast<std::uint16_t>(kLeafFlag | nh);
+    };
+
+    std::size_t i = 0;
+    rib::NextHop carried = rib::kNoRoute;
+    for (std::uint32_t b16 = 0; b16 < (1u << 16); ++b16) {
+        const std::uint32_t lo16 = b16 << 16;
+        const std::size_t first16 = i;
+        while (i < runs.size() && (runs[i].start >> 16) == b16) ++i;
+        const std::size_t last16 = i;
+        // Uniform /16 block resolves at level 16 in one access.
+        bool uniform16 = true;
+        rib::NextHop v16 = carried;
+        {
+            std::size_t j = first16;
+            if (j < last16 && runs[j].start == lo16) {
+                v16 = runs[j].next_hop;
+                ++j;
+            }
+            uniform16 = (j == last16);
+        }
+        if (uniform16) {
+            bcn16_[b16] = check_hop(v16);
+            if (last16 > first16) carried = runs[last16 - 1].next_hop;
+            continue;
+        }
+        // Mixed /16 block: descend into the full level-24 array.
+        ++mixed16_;
+        bcn16_[b16] = 0;
+
+        std::size_t j = first16;
+        rib::NextHop carried24 = carried;
+        for (std::uint32_t b24 = 0; b24 < 256; ++b24) {
+            const std::uint32_t lo24 = lo16 | (b24 << 8);
+            const std::size_t first24 = j;
+            while (j < last16 && (runs[j].start >> 8) == (lo24 >> 8)) ++j;
+            const std::size_t last24 = j;
+            bool uniform24 = true;
+            rib::NextHop v24 = carried24;
+            {
+                std::size_t t = first24;
+                if (t < last24 && runs[t].start == lo24) {
+                    v24 = runs[t].next_hop;
+                    ++t;
+                }
+                uniform24 = (t == last24);
+            }
+            if (uniform24) {
+                bcn24_[lo24 >> 8] = check_hop(v24);
+            } else {
+                if (chunks32_ >= kMaxChunks)
+                    throw StructuralLimit(
+                        "SAIL: needs more than 2^15 level-32 chunks (the 15-bit chunk-id"
+                        " limit of §4.8)");
+                const auto chunk32 = static_cast<std::uint16_t>(chunks32_++);
+                bcn24_[lo24 >> 8] = chunk32;  // flag clear: chunk id
+                n32_.resize(chunks32_ * 256, rib::kNoRoute);
+                const std::size_t c32_base = std::size_t{chunk32} * 256;
+                // Expand the /24 block address by address from its runs.
+                std::size_t t = first24;
+                rib::NextHop cur = carried24;
+                for (std::uint32_t a = 0; a < 256; ++a) {
+                    const std::uint32_t address = lo24 | a;
+                    while (t < last24 && runs[t].start == address) {
+                        cur = runs[t].next_hop;
+                        ++t;
+                    }
+                    if (cur > kPayloadMask)
+                        throw StructuralLimit("SAIL: next hop exceeds the 15-bit payload");
+                    n32_[c32_base + a] = cur;
+                }
+            }
+            if (last24 > first24) carried24 = runs[last24 - 1].next_hop;
+        }
+        carried = carried24;
+    }
+}
+
+}  // namespace baselines

@@ -1,0 +1,77 @@
+// baselines/sail.hpp — SAIL (Yang et al., SIGCOMM 2014), the SAIL_L variant.
+//
+// Splitting Approach to IP Lookup: prefixes are pushed down to pivot levels
+// 16/24/32 so a lookup is at most three plain array reads with no bit
+// manipulation. Layout, reconstructed from the Poptrie paper's measurements
+// of its SAIL implementation:
+//
+//   * level 16 — BCN16, a full 2^16-entry array of 16-bit words (128 KiB:
+//     "the top level part of SAIL is 128 KiB, which is half of the L2 cache
+//     size", §4.6). MSB set → the low 15 bits are the next hop; clear →
+//     descend.
+//   * level 24 — BCN24, a full 2^24-entry array (32 MiB). This is what
+//     makes SAIL's total footprint ~44 MiB on a full table (Table 3) and
+//     why its performance collapses once the working set leaves the L3
+//     (§4.5): the level-24 access is a DRAM hit for random traffic. MSB set
+//     → next hop; clear → low 15 bits are a level-32 chunk id.
+//   * level 32 — 256-entry next-hop chunks, indexed by the 15-bit id.
+//
+// The 15-bit chunk id is SAIL's structural limit: a table needing more than
+// 2^15 level-32 chunks (i.e. more than 32768 /24 blocks containing routes
+// longer than /24) cannot be encoded — that is the mechanism behind Table
+// 5's "N/A" cells for the SYN2 tables, whose synthetic expansion splits /24s
+// into /25s en masse (§4.8). Build throws StructuralLimit in that case.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "baselines/dxr.hpp"  // StructuralLimit
+#include "rib/radix_trie.hpp"
+#include "rib/route.hpp"
+
+namespace baselines {
+
+/// SAIL_L over IPv4 (the original algorithm does not support IPv6 routes
+/// longer than /64, §4.10 — like the paper, we evaluate it for IPv4 only).
+class Sail {
+public:
+    Sail() = default;
+
+    /// Compiles from the RIB. Throws StructuralLimit if more than 2^15
+    /// level-32 chunks are required or a next hop exceeds 15 bits.
+    explicit Sail(const rib::RadixTrie<netbase::Ipv4Addr>& rib);
+
+    /// Longest-prefix match; rib::kNoRoute on miss.
+    [[nodiscard]] rib::NextHop lookup(netbase::Ipv4Addr addr) const noexcept
+    {
+        const std::uint32_t key = addr.value();
+        std::uint16_t e = bcn16_[key >> 16];
+        if (e & kLeafFlag) return static_cast<rib::NextHop>(e & kPayloadMask);
+        e = bcn24_[key >> 8];
+        if (e & kLeafFlag) return static_cast<rib::NextHop>(e & kPayloadMask);
+        return n32_[(static_cast<std::uint32_t>(e) << 8) | (key & 0xFF)];
+    }
+
+    /// Number of /16 blocks that need the level-24 array (diagnostics).
+    [[nodiscard]] std::size_t mixed16_blocks() const noexcept { return mixed16_; }
+    /// Number of level-32 chunks (the 15-bit-id-limited resource).
+    [[nodiscard]] std::size_t level32_chunks() const noexcept { return chunks32_; }
+    [[nodiscard]] std::size_t memory_bytes() const noexcept
+    {
+        return bcn16_.size() * 2 + bcn24_.size() * 2 + n32_.size() * 2;
+    }
+
+private:
+    static constexpr std::uint16_t kLeafFlag = 0x8000;
+    static constexpr std::uint16_t kPayloadMask = 0x7FFF;
+    static constexpr std::size_t kMaxChunks = std::size_t{1} << 15;
+
+    std::vector<std::uint16_t> bcn16_;  // 2^16 entries, 128 KiB
+    std::vector<std::uint16_t> bcn24_;  // 2^24 entries, 32 MiB
+    std::vector<rib::NextHop> n32_;     // chunks32 x 256 entries
+    std::size_t mixed16_ = 0;
+    std::size_t chunks32_ = 0;
+};
+
+}  // namespace baselines

@@ -1,0 +1,87 @@
+#include "benchkit/cli.hpp"
+
+#include <charconv>
+#include <cstdio>
+
+namespace benchkit {
+namespace {
+
+std::string_view value_of(const std::string& arg, std::string_view name)
+{
+    // arg is "--name=value" or "--name"; name is passed without dashes.
+    if (arg.size() < name.size() + 2 || arg[0] != '-' || arg[1] != '-') return {};
+    const std::string_view body{arg.data() + 2, arg.size() - 2};
+    if (!body.starts_with(name)) return {};
+    if (body.size() == name.size()) return "";  // present, no value
+    if (body[name.size()] != '=') return {};
+    return body.substr(name.size() + 1);
+}
+
+}  // namespace
+
+Args::Args(int argc, char** argv)
+{
+    for (int i = 1; i < argc; ++i) args_.emplace_back(argv[i]);
+}
+
+bool Args::has(std::string_view name) const
+{
+    for (const auto& a : args_)
+        if (value_of(a, name).data() != nullptr) return true;
+    return false;
+}
+
+std::string Args::get(std::string_view name, std::string fallback) const
+{
+    for (const auto& a : args_) {
+        const auto v = value_of(a, name);
+        if (v.data() != nullptr && !v.empty()) return std::string{v};
+    }
+    return fallback;
+}
+
+std::uint64_t Args::get_u64(std::string_view name, std::uint64_t fallback) const
+{
+    const auto s = get(name, "");
+    if (s.empty()) return fallback;
+    std::uint64_t v = 0;
+    const auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+    return (ec == std::errc{} && p == s.data() + s.size()) ? v : fallback;
+}
+
+double Args::get_double(std::string_view name, double fallback) const
+{
+    const auto s = get(name, "");
+    if (s.empty()) return fallback;
+    double v = 0;
+    const auto [p, ec] = std::from_chars(s.data(), s.data() + s.size(), v);
+    return (ec == std::errc{} && p == s.data() + s.size()) ? v : fallback;
+}
+
+std::size_t Args::lookups(std::size_t quick, std::size_t full) const
+{
+    const auto base = has("full") ? full : quick;
+    return static_cast<std::size_t>(get_u64("lookups", base));
+}
+
+unsigned Args::trials() const
+{
+    const unsigned base = has("full") ? 10 : 3;
+    return static_cast<unsigned>(get_u64("trials", base));
+}
+
+std::uint64_t Args::seed(std::uint64_t fallback) const { return get_u64("seed", fallback); }
+
+bool Args::handle_help(std::string_view bench_name, std::string_view extra) const
+{
+    if (!has("help")) return false;
+    std::printf("%.*s — Poptrie reproduction bench\n"
+                "  --quick (default) | --full   measurement scale\n"
+                "  --lookups=N  --trials=N  --seed=N\n",
+                static_cast<int>(bench_name.size()), bench_name.data());
+    if (!extra.empty())
+        std::printf("%.*s\n", static_cast<int>(extra.size()), extra.data());
+    return true;
+}
+
+}  // namespace benchkit

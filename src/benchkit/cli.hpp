@@ -1,0 +1,46 @@
+// benchkit/cli.hpp — minimal flag parsing shared by the bench binaries.
+//
+// Every bench accepts:
+//   --quick           fewer lookups/trials (default)
+//   --full            paper-scale counts (minutes per bench)
+//   --lookups=N       override the per-measurement lookup count
+//   --trials=N        override the trial count (paper: 10)
+//   --seed=N          override workload seeds
+// plus bench-specific flags documented in each binary's --help.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace benchkit {
+
+/// Parsed command line. Flags are "--name" or "--name=value".
+class Args {
+public:
+    Args(int argc, char** argv);
+
+    /// True if "--name" (with or without value) was passed.
+    [[nodiscard]] bool has(std::string_view name) const;
+
+    /// Value of "--name=value", or `fallback`.
+    [[nodiscard]] std::uint64_t get_u64(std::string_view name, std::uint64_t fallback) const;
+    [[nodiscard]] double get_double(std::string_view name, double fallback) const;
+    [[nodiscard]] std::string get(std::string_view name, std::string fallback) const;
+
+    /// Standard scale handling: returns `quick` unless --full, then `full`;
+    /// --lookups overrides both.
+    [[nodiscard]] std::size_t lookups(std::size_t quick, std::size_t full) const;
+    /// Trials: 3 quick / 10 full, overridable with --trials.
+    [[nodiscard]] unsigned trials() const;
+    [[nodiscard]] std::uint64_t seed(std::uint64_t fallback = 0) const;
+
+    /// Prints standard usage plus `extra` and returns true if --help given.
+    bool handle_help(std::string_view bench_name, std::string_view extra = {}) const;
+
+private:
+    std::vector<std::string> args_;
+};
+
+}  // namespace benchkit

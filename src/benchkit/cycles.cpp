@@ -1,0 +1,37 @@
+#include "benchkit/cycles.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <vector>
+
+namespace benchkit {
+
+std::uint64_t calibrate_tsc_overhead()
+{
+    std::vector<std::uint64_t> samples;
+    samples.reserve(4096);
+    for (int i = 0; i < 4096; ++i) {
+        const auto t0 = tsc_begin();
+        const auto t1 = tsc_end();
+        samples.push_back(t1 - t0);
+    }
+    std::nth_element(samples.begin(), samples.begin() + samples.size() / 2, samples.end());
+    return samples[samples.size() / 2];
+}
+
+double tsc_hz()
+{
+    using clock = std::chrono::steady_clock;
+    const auto w0 = clock::now();
+    const auto t0 = tsc_begin();
+    // ~50 ms busy wait: long enough for a stable ratio, short enough to be
+    // unnoticeable at bench startup.
+    while (clock::now() - w0 < std::chrono::milliseconds(50)) {
+    }
+    const auto t1 = tsc_end();
+    const auto w1 = clock::now();
+    const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(w1 - w0).count();
+    return static_cast<double>(t1 - t0) * 1e9 / static_cast<double>(ns);
+}
+
+}  // namespace benchkit

@@ -1,0 +1,57 @@
+// benchkit/cycles.hpp — per-lookup CPU cycle measurement (§4.6).
+//
+// The paper reads the CPU's performance monitoring counters under a
+// single-task OS and subtracts the constant 83-cycle read overhead. User
+// space on a stock kernel gets the serialized time-stamp counter instead:
+// rdtscp (+ lfence) brackets, with the measured empty-bracket overhead
+// calibrated at startup and subtracted, and statistics taken over millions
+// of lookups to wash out interference — the same statistical approach the
+// paper applies ("we statistically analyze the distribution of the CPU
+// cycles in a large number of lookups").
+#pragma once
+
+#include <cstdint>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <x86intrin.h>
+#endif
+
+namespace benchkit {
+
+/// Serialized timestamp read: all older instructions have retired before the
+/// counter is sampled.
+[[nodiscard]] inline std::uint64_t tsc_begin() noexcept
+{
+#if defined(__x86_64__) || defined(__i386__)
+    _mm_lfence();
+    const std::uint64_t t = __rdtsc();
+    _mm_lfence();
+    return t;
+#else
+    return 0;
+#endif
+}
+
+/// Serialized timestamp read for the end of a measured region.
+[[nodiscard]] inline std::uint64_t tsc_end() noexcept
+{
+#if defined(__x86_64__) || defined(__i386__)
+    unsigned aux = 0;
+    const std::uint64_t t = __rdtscp(&aux);
+    _mm_lfence();
+    return t;
+#else
+    return 0;
+#endif
+}
+
+/// Measured cost of an empty tsc_begin()/tsc_end() bracket on this host
+/// (median of many trials). Subtract from raw per-lookup readings, as the
+/// paper subtracts its 83-cycle PMC read overhead.
+[[nodiscard]] std::uint64_t calibrate_tsc_overhead();
+
+/// TSC ticks per second (measured against the steady clock); used to convert
+/// cycle counts to time where needed.
+[[nodiscard]] double tsc_hz();
+
+}  // namespace benchkit

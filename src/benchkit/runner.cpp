@@ -1,0 +1,3 @@
+// benchkit/runner.cpp — the measurement loops are header-only templates
+// (runner.hpp); this TU anchors the library and holds nothing else.
+#include "benchkit/runner.hpp"

@@ -1,0 +1,194 @@
+// benchkit/runner.hpp — measurement loops shared by every bench binary.
+//
+// Conventions follow §4.2/§4.5:
+//   * random: addresses from xorshift generated just-in-time inside the
+//     timed loop (its ~1 ns cost is part of the number, as in the paper:
+//     "we did not exclude this overhead from the results");
+//   * sequential: the address counter increments inside the loop;
+//   * repeated: each random address issued kRepeat (16) times;
+//   * trace: replay of a pre-materialized address array;
+//   * every loop folds results into a checksum the caller must consume, so
+//     the optimizer cannot delete the lookups;
+//   * rates are reported in Mlps over `trials` runs with mean and std, like
+//     the paper's ten-trial averages.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "benchkit/stats.hpp"
+#include "workload/xorshift.hpp"
+
+namespace benchkit {
+
+/// Mlps over `trials` timed runs.
+struct RateResult {
+    double mlps_mean = 0;
+    double mlps_std = 0;
+    std::uint64_t checksum = 0;  ///< consume this (print/volatile) to defeat DCE
+};
+
+inline constexpr unsigned kRepeatFactor = 16;  // §4.2's "repeated" pattern
+
+namespace detail {
+inline double seconds_since(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}
+}  // namespace detail
+
+/// random pattern. `lookup(uint32_t) -> integer`.
+template <class Lookup>
+RateResult measure_random(Lookup&& lookup, std::size_t lookups, unsigned trials,
+                          std::uint64_t seed = 0)
+{
+    RateResult r;
+    std::vector<double> rates;
+    for (unsigned t = 0; t < trials; ++t) {
+        workload::Xorshift128 rng(seed);  // same seed per trial, as in §4.6
+        std::uint64_t sum = 0;
+        const auto t0 = std::chrono::steady_clock::now();
+        for (std::size_t i = 0; i < lookups; ++i)
+            sum += static_cast<std::uint64_t>(lookup(rng.next()));
+        const double secs = detail::seconds_since(t0);
+        rates.push_back(static_cast<double>(lookups) / secs / 1e6);
+        r.checksum += sum;
+    }
+    const auto ms = mean_std(rates);
+    r.mlps_mean = ms.mean;
+    r.mlps_std = ms.std;
+    return r;
+}
+
+/// sequential pattern: addresses 0, 1, 2, ... wrapping at 2^32.
+template <class Lookup>
+RateResult measure_sequential(Lookup&& lookup, std::size_t lookups, unsigned trials)
+{
+    RateResult r;
+    std::vector<double> rates;
+    for (unsigned t = 0; t < trials; ++t) {
+        std::uint64_t sum = 0;
+        std::uint32_t addr = 0;
+        const auto t0 = std::chrono::steady_clock::now();
+        for (std::size_t i = 0; i < lookups; ++i)
+            sum += static_cast<std::uint64_t>(lookup(addr++));
+        const double secs = detail::seconds_since(t0);
+        rates.push_back(static_cast<double>(lookups) / secs / 1e6);
+        r.checksum += sum;
+    }
+    const auto ms = mean_std(rates);
+    r.mlps_mean = ms.mean;
+    r.mlps_std = ms.std;
+    return r;
+}
+
+/// repeated pattern: each random address issued kRepeatFactor times.
+template <class Lookup>
+RateResult measure_repeated(Lookup&& lookup, std::size_t lookups, unsigned trials,
+                            std::uint64_t seed = 0)
+{
+    RateResult r;
+    std::vector<double> rates;
+    for (unsigned t = 0; t < trials; ++t) {
+        workload::Xorshift128 rng(seed);
+        std::uint64_t sum = 0;
+        const auto t0 = std::chrono::steady_clock::now();
+        std::size_t done = 0;
+        while (done < lookups) {
+            const std::uint32_t addr = rng.next();
+            for (unsigned k = 0; k < kRepeatFactor; ++k)
+                sum += static_cast<std::uint64_t>(lookup(addr));
+            done += kRepeatFactor;
+        }
+        const double secs = detail::seconds_since(t0);
+        rates.push_back(static_cast<double>(done) / secs / 1e6);
+        r.checksum += sum;
+    }
+    const auto ms = mean_std(rates);
+    r.mlps_mean = ms.mean;
+    r.mlps_std = ms.std;
+    return r;
+}
+
+/// trace replay (§4.7): the array is loaded in advance, as in the paper.
+template <class Lookup>
+RateResult measure_trace(Lookup&& lookup, const std::vector<std::uint32_t>& trace,
+                         unsigned trials)
+{
+    RateResult r;
+    std::vector<double> rates;
+    for (unsigned t = 0; t < trials; ++t) {
+        std::uint64_t sum = 0;
+        const auto t0 = std::chrono::steady_clock::now();
+        for (const auto addr : trace) sum += static_cast<std::uint64_t>(lookup(addr));
+        const double secs = detail::seconds_since(t0);
+        rates.push_back(static_cast<double>(trace.size()) / secs / 1e6);
+        r.checksum += sum;
+    }
+    const auto ms = mean_std(rates);
+    r.mlps_mean = ms.mean;
+    r.mlps_std = ms.std;
+    return r;
+}
+
+/// random pattern over 128-bit keys inside a /8-style scope (§4.10 queries
+/// "random addresses within 2000::/8"): `make_key(rng) -> key`,
+/// `lookup(key) -> integer`.
+template <class Lookup, class MakeKey>
+RateResult measure_random_keys(Lookup&& lookup, MakeKey&& make_key, std::size_t lookups,
+                               unsigned trials, std::uint64_t seed = 0)
+{
+    RateResult r;
+    std::vector<double> rates;
+    for (unsigned t = 0; t < trials; ++t) {
+        workload::Xorshift128 rng(seed);
+        std::uint64_t sum = 0;
+        const auto t0 = std::chrono::steady_clock::now();
+        for (std::size_t i = 0; i < lookups; ++i)
+            sum += static_cast<std::uint64_t>(lookup(make_key(rng)));
+        const double secs = detail::seconds_since(t0);
+        rates.push_back(static_cast<double>(lookups) / secs / 1e6);
+        r.checksum += sum;
+    }
+    const auto ms = mean_std(rates);
+    r.mlps_mean = ms.mean;
+    r.mlps_std = ms.std;
+    return r;
+}
+
+/// Fig. 8: aggregated random-pattern rate over `threads` concurrent lookup
+/// threads sharing one read-only structure.
+template <class Lookup>
+RateResult measure_random_multithread(Lookup&& lookup, std::size_t lookups_per_thread,
+                                      unsigned threads, unsigned trials)
+{
+    RateResult r;
+    std::vector<double> rates;
+    for (unsigned t = 0; t < trials; ++t) {
+        std::vector<std::jthread> workers;
+        std::vector<std::uint64_t> sums(threads, 0);
+        const auto t0 = std::chrono::steady_clock::now();
+        for (unsigned w = 0; w < threads; ++w) {
+            workers.emplace_back([&, w] {
+                workload::Xorshift128 rng(0x9000 + w);
+                std::uint64_t sum = 0;
+                for (std::size_t i = 0; i < lookups_per_thread; ++i)
+                    sum += static_cast<std::uint64_t>(lookup(rng.next()));
+                sums[w] = sum;
+            });
+        }
+        workers.clear();  // join
+        const double secs = detail::seconds_since(t0);
+        rates.push_back(static_cast<double>(lookups_per_thread) *
+                        static_cast<double>(threads) / secs / 1e6);
+        for (const auto s : sums) r.checksum += s;
+    }
+    const auto ms = mean_std(rates);
+    r.mlps_mean = ms.mean;
+    r.mlps_std = ms.std;
+    return r;
+}
+
+}  // namespace benchkit

@@ -1,0 +1,69 @@
+#include "benchkit/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace benchkit {
+
+MeanStd mean_std(const std::vector<double>& samples)
+{
+    MeanStd r;
+    if (samples.empty()) return r;
+    r.mean = std::accumulate(samples.begin(), samples.end(), 0.0) /
+             static_cast<double>(samples.size());
+    if (samples.size() > 1) {
+        double ss = 0;
+        for (const double v : samples) ss += (v - r.mean) * (v - r.mean);
+        r.std = std::sqrt(ss / static_cast<double>(samples.size() - 1));
+    }
+    return r;
+}
+
+Percentiles::Percentiles(std::vector<std::uint64_t> samples) : sorted_(std::move(samples))
+{
+    std::sort(sorted_.begin(), sorted_.end());
+    if (!sorted_.empty())
+        mean_ = std::accumulate(sorted_.begin(), sorted_.end(), 0.0) /
+                static_cast<double>(sorted_.size());
+}
+
+double Percentiles::percentile(double q) const noexcept
+{
+    if (sorted_.empty()) return 0;
+    const double pos = q / 100.0 * static_cast<double>(sorted_.size() - 1);
+    const auto lo = static_cast<std::size_t>(pos);
+    const auto hi = std::min(lo + 1, sorted_.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return static_cast<double>(sorted_[lo]) * (1 - frac) +
+           static_cast<double>(sorted_[hi]) * frac;
+}
+
+std::vector<double> Percentiles::cdf_at(const std::vector<std::uint64_t>& xs) const
+{
+    std::vector<double> out;
+    out.reserve(xs.size());
+    for (const auto x : xs) {
+        const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+        out.push_back(sorted_.empty()
+                          ? 0.0
+                          : static_cast<double>(it - sorted_.begin()) /
+                                static_cast<double>(sorted_.size()));
+    }
+    return out;
+}
+
+Candle candle(std::vector<std::uint64_t> samples)
+{
+    const Percentiles p(std::move(samples));
+    Candle c;
+    c.p5 = p.percentile(5);
+    c.p25 = p.percentile(25);
+    c.p50 = p.percentile(50);
+    c.p75 = p.percentile(75);
+    c.p95 = p.percentile(95);
+    c.n = p.count();
+    return c;
+}
+
+}  // namespace benchkit

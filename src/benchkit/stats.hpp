@@ -1,0 +1,43 @@
+// benchkit/stats.hpp — summary statistics for bench output: means with
+// standard deviation (the paper's "(std.)" columns), percentiles (Table 4),
+// CDFs (Fig. 10) and quartile candlesticks (Fig. 11).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace benchkit {
+
+/// Mean and sample standard deviation, as the paper reports for its ten
+/// repeated experiments.
+struct MeanStd {
+    double mean = 0;
+    double std = 0;
+};
+[[nodiscard]] MeanStd mean_std(const std::vector<double>& samples);
+
+/// Percentiles over a sample set (sorted internally; `q` in [0, 100]).
+class Percentiles {
+public:
+    explicit Percentiles(std::vector<std::uint64_t> samples);
+
+    [[nodiscard]] double percentile(double q) const noexcept;
+    [[nodiscard]] double mean() const noexcept { return mean_; }
+    [[nodiscard]] std::size_t count() const noexcept { return sorted_.size(); }
+
+    /// CDF points at the given x values: fraction of samples <= x.
+    [[nodiscard]] std::vector<double> cdf_at(const std::vector<std::uint64_t>& xs) const;
+
+private:
+    std::vector<std::uint64_t> sorted_;
+    double mean_ = 0;
+};
+
+/// Fig. 11 candlestick: 5th/25th/50th/75th/95th percentiles.
+struct Candle {
+    double p5 = 0, p25 = 0, p50 = 0, p75 = 0, p95 = 0;
+    std::size_t n = 0;
+};
+[[nodiscard]] Candle candle(std::vector<std::uint64_t> samples);
+
+}  // namespace benchkit

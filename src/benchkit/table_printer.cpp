@@ -1,0 +1,68 @@
+#include "benchkit/table_printer.hpp"
+
+#include <cstdio>
+
+namespace benchkit {
+
+TablePrinter::TablePrinter(std::vector<Column> columns) : columns_(std::move(columns)) {}
+
+void TablePrinter::print_header() const
+{
+    std::string line;
+    std::string rule;
+    for (const auto& c : columns_) {
+        std::string h = c.header;
+        if (h.size() > c.width) h.resize(c.width);
+        const auto pad = c.width - h.size();
+        line += c.right_align ? std::string(pad, ' ') + h : h + std::string(pad, ' ');
+        line += "  ";
+        rule += std::string(c.width, '-') + "  ";
+    }
+    std::printf("%s\n%s\n", line.c_str(), rule.c_str());
+}
+
+void TablePrinter::print_row(const std::vector<std::string>& cells) const
+{
+    std::string line;
+    for (std::size_t i = 0; i < columns_.size(); ++i) {
+        const auto& c = columns_[i];
+        std::string v = i < cells.size() ? cells[i] : "";
+        if (v.size() > c.width) v.resize(c.width);
+        const auto pad = c.width - v.size();
+        line += c.right_align ? std::string(pad, ' ') + v : v + std::string(pad, ' ');
+        line += "  ";
+    }
+    std::printf("%s\n", line.c_str());
+}
+
+std::string fmt(double value, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.*f", decimals, value);
+    return buf;
+}
+
+std::string fmt_mean_std(double mean, double std, int decimals)
+{
+    return fmt(mean, decimals) + " (" + fmt(std, decimals) + ")";
+}
+
+std::string fmt_mib(std::size_t bytes)
+{
+    return fmt(static_cast<double>(bytes) / (1024.0 * 1024.0), 2);
+}
+
+std::string fmt_count(std::uint64_t v)
+{
+    std::string digits = std::to_string(v);
+    std::string out;
+    const auto n = digits.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        out += digits[i];
+        const auto remaining = n - 1 - i;
+        if (remaining != 0 && remaining % 3 == 0) out += ',';
+    }
+    return out;
+}
+
+}  // namespace benchkit

@@ -1,0 +1,44 @@
+// benchkit/table_printer.hpp — aligned text tables in the paper's style
+// ("Rate (std.) [Mlps]" columns etc.), plus small formatting helpers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace benchkit {
+
+/// Fixed-layout table: set up columns once, then print rows of strings.
+class TablePrinter {
+public:
+    struct Column {
+        std::string header;
+        unsigned width;
+        bool right_align = true;
+    };
+
+    explicit TablePrinter(std::vector<Column> columns);
+
+    /// Prints the header row and a separator line.
+    void print_header() const;
+
+    /// Prints one row; missing cells print empty.
+    void print_row(const std::vector<std::string>& cells) const;
+
+private:
+    std::vector<Column> columns_;
+};
+
+/// Fixed-point formatting: fmt(3.14159, 2) == "3.14".
+[[nodiscard]] std::string fmt(double value, int decimals);
+
+/// "mean (std)" in the paper's convention: "240.52 (5.47)".
+[[nodiscard]] std::string fmt_mean_std(double mean, double std, int decimals = 2);
+
+/// Bytes → MiB string with 2 decimals.
+[[nodiscard]] std::string fmt_mib(std::size_t bytes);
+
+/// Thousands-separated integer ("531,489").
+[[nodiscard]] std::string fmt_count(std::uint64_t v);
+
+}  // namespace benchkit

@@ -1,0 +1,137 @@
+// netbase/bits.hpp — bit-manipulation helpers shared by every trie.
+//
+// The paper's lookup inner loops are built from three primitives: extracting a
+// chunk of bits from the most-significant end of a key (`extract`), building a
+// mask of the least significant n bits, and population count. They are defined
+// here once so the core library, the baselines and the tests agree exactly on
+// the bit conventions.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+#include <type_traits>
+
+namespace netbase {
+
+/// True for the unsigned integer types our tries accept as keys
+/// (uint32_t for IPv4, unsigned __int128 for IPv6).
+template <class T>
+concept TrieKey = std::is_unsigned_v<T> || std::is_same_v<T, unsigned __int128>;
+
+/// Number of value bits in T.
+template <TrieKey T>
+inline constexpr unsigned bit_width_of = sizeof(T) * 8;
+
+/// extract(key, off, len): the paper's bit-field accessor. Returns `len` bits
+/// of `key` starting `off` bits from the most significant end, as the low bits
+/// of the result. extract(0xC0000000, 0, 2) == 3 for a 32-bit key.
+/// Preconditions: len >= 1 and off + len <= width.
+template <TrieKey T>
+[[nodiscard]] constexpr std::uint64_t extract(T key, unsigned off, unsigned len) noexcept
+{
+    const unsigned width = bit_width_of<T>;
+    return static_cast<std::uint64_t>(key >> (width - off - len)) &
+           ((std::uint64_t{1} << len) - 1);
+}
+
+/// Mask with the `len` most significant bits set. len == 0 gives 0; len may
+/// equal the full width.
+template <TrieKey T>
+[[nodiscard]] constexpr T high_mask(unsigned len) noexcept
+{
+    const unsigned width = bit_width_of<T>;
+    if (len == 0) return 0;
+    return static_cast<T>(~T{0}) << (width - len);
+}
+
+/// The bit of `key` that is `pos` bits from the most significant end
+/// (pos == 0 is the MSB). Returns 0 or 1.
+template <TrieKey T>
+[[nodiscard]] constexpr unsigned bit_at(T key, unsigned pos) noexcept
+{
+    return static_cast<unsigned>((key >> (bit_width_of<T> - 1 - pos)) & 1);
+}
+
+/// Population count of a 64-bit word. Compiles to the `popcnt` instruction
+/// when the target supports it (we build with -march=native); the paper's
+/// Algorithm 1 Line 7 is exactly popcount(vector & ((2 << v) - 1)).
+[[nodiscard]] constexpr int popcount64(std::uint64_t v) noexcept
+{
+    return std::popcount(v);
+}
+
+/// Portable software population count (Warren, "Hacker's Delight" §5-1) —
+/// the "fast alternative in the literature" §3.2 points to for CPUs without
+/// popcnt. Note: modern GCC/Clang recognize this exact idiom and emit the
+/// popcnt instruction anyway when the target has it, so this cannot be used
+/// to *measure* the cost of lacking the instruction; see popcount64_table.
+[[nodiscard]] constexpr int popcount64_soft(std::uint64_t v) noexcept
+{
+    v = v - ((v >> 1) & 0x5555555555555555ULL);
+    v = (v & 0x3333333333333333ULL) + ((v >> 2) & 0x3333333333333333ULL);
+    v = (v + (v >> 4)) & 0x0F0F0F0F0F0F0F0FULL;
+    return static_cast<int>((v * 0x0101010101010101ULL) >> 56);
+}
+
+namespace detail {
+struct PopcountTable {
+    std::uint8_t counts[256]{};
+    constexpr PopcountTable()
+    {
+        for (unsigned i = 0; i < 256; ++i) {
+            unsigned v = i;
+            while (v != 0) {
+                counts[i] += static_cast<std::uint8_t>(v & 1);
+                v >>= 1;
+            }
+        }
+    }
+};
+inline constexpr PopcountTable kPopcountTable{};
+}  // namespace detail
+
+/// Byte-table population count: what pre-popcnt implementations (including
+/// the original Tree Bitmap, §2) actually shipped, and — unlike
+/// popcount64_soft — not idiom-matched to the instruction by compilers, so
+/// the no-popcnt ablation measures something real.
+[[nodiscard]] constexpr int popcount64_table(std::uint64_t v) noexcept
+{
+    int sum = 0;
+    for (int i = 0; i < 8; ++i) {
+        sum += detail::kPopcountTable.counts[v & 0xFF];
+        v >>= 8;
+    }
+    return sum;
+}
+
+/// Mask of the least significant (v + 1) bits: the paper's ((2ULL << v) - 1).
+/// Valid for v in [0, 63].
+[[nodiscard]] constexpr std::uint64_t low_mask_inclusive(unsigned v) noexcept
+{
+    return (std::uint64_t{2} << v) - 1;
+}
+
+/// Number of leading zero bits; countl_zero generalized to 128-bit keys.
+/// count_leading_zeros(0) == width.
+template <TrieKey T>
+[[nodiscard]] constexpr unsigned count_leading_zeros(T v) noexcept
+{
+    if constexpr (sizeof(T) <= 8) {
+        return static_cast<unsigned>(std::countl_zero(v));
+    } else {
+        const auto high = static_cast<std::uint64_t>(v >> 64);
+        if (high != 0) return static_cast<unsigned>(std::countl_zero(high));
+        return 64 + static_cast<unsigned>(std::countl_zero(static_cast<std::uint64_t>(v)));
+    }
+}
+
+/// Length of the longest common prefix of two keys, capped at `max_len`.
+template <TrieKey T>
+[[nodiscard]] constexpr unsigned common_prefix_length(T a, T b, unsigned max_len) noexcept
+{
+    const T diff = a ^ b;
+    const unsigned common = diff == 0 ? bit_width_of<T> : count_leading_zeros(diff);
+    return common < max_len ? common : max_len;
+}
+
+}  // namespace netbase

@@ -1,0 +1,45 @@
+#include "netbase/ipv4.hpp"
+
+#include <array>
+#include <charconv>
+
+namespace netbase {
+
+std::optional<Ipv4Addr> parse_ipv4(std::string_view text)
+{
+    std::array<std::uint8_t, 4> octets{};
+    const char* p = text.data();
+    const char* const end = text.data() + text.size();
+    for (int i = 0; i < 4; ++i) {
+        if (i > 0) {
+            if (p == end || *p != '.') return std::nullopt;
+            ++p;
+        }
+        unsigned value = 0;
+        auto [next, ec] = std::from_chars(p, end, value);
+        if (ec != std::errc{} || next == p || value > 255) return std::nullopt;
+        // Reject forms like "01.2.3.4" only if they are ambiguous octal-ish
+        // inputs longer than 3 digits; plain leading zeros are accepted as
+        // decimal, matching inet_pton's "ddd" behaviour closely enough for
+        // our dataset files.
+        if (next - p > 3) return std::nullopt;
+        octets[static_cast<std::size_t>(i)] = static_cast<std::uint8_t>(value);
+        p = next;
+    }
+    if (p != end) return std::nullopt;
+    return Ipv4Addr{octets[0], octets[1], octets[2], octets[3]};
+}
+
+std::string to_string(Ipv4Addr addr)
+{
+    const auto v = addr.value();
+    std::string out;
+    out.reserve(15);
+    for (int shift = 24; shift >= 0; shift -= 8) {
+        if (shift != 24) out.push_back('.');
+        out += std::to_string((v >> shift) & 0xFFu);
+    }
+    return out;
+}
+
+}  // namespace netbase

@@ -1,0 +1,56 @@
+// netbase/ipv4.hpp — IPv4 address value type.
+//
+// All lookup structures in this repository operate on addresses in *host* byte
+// order (most significant bit = first bit of the address), because the trie
+// algorithms index bits from the most significant end. Conversion from/to the
+// dotted-quad text form is provided here; conversion from network byte order
+// is a single byte swap done at the edge of the system.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace netbase {
+
+/// An IPv4 address held as a host-order 32-bit integer.
+///
+/// This is a trivially copyable strong type: it deliberately has no implicit
+/// conversion from `uint32_t` so that next-hop indices, leaf values and
+/// addresses cannot be mixed up at call sites.
+class Ipv4Addr {
+public:
+    /// Number of bits in an address.
+    static constexpr unsigned kWidth = 32;
+
+    /// Unsigned integer representation used by the tries.
+    using value_type = std::uint32_t;
+
+    constexpr Ipv4Addr() = default;
+
+    /// Constructs from a host-order integer (e.g. 0x0A000001 == 10.0.0.1).
+    constexpr explicit Ipv4Addr(value_type host_order) noexcept : bits_(host_order) {}
+
+    /// Constructs from four dotted-quad octets, most significant first.
+    constexpr Ipv4Addr(std::uint8_t a, std::uint8_t b, std::uint8_t c, std::uint8_t d) noexcept
+        : bits_((value_type{a} << 24) | (value_type{b} << 16) | (value_type{c} << 8) | d) {}
+
+    /// The host-order integer value.
+    [[nodiscard]] constexpr value_type value() const noexcept { return bits_; }
+
+    friend constexpr auto operator<=>(Ipv4Addr, Ipv4Addr) = default;
+
+private:
+    value_type bits_ = 0;
+};
+
+/// Parses dotted-quad text ("192.0.2.1"). Returns nullopt on malformed input
+/// (wrong number of octets, out-of-range octet, leading '+', trailing junk).
+[[nodiscard]] std::optional<Ipv4Addr> parse_ipv4(std::string_view text);
+
+/// Formats as dotted-quad text.
+[[nodiscard]] std::string to_string(Ipv4Addr addr);
+
+}  // namespace netbase

@@ -1,0 +1,142 @@
+#include "netbase/ipv6.hpp"
+
+#include <array>
+#include <charconv>
+
+#include "netbase/ipv4.hpp"
+
+namespace netbase {
+namespace {
+
+// Parses one hex group of 1-4 digits. Returns the number of characters
+// consumed, or 0 on failure.
+std::size_t parse_group(std::string_view text, std::uint16_t& out)
+{
+    unsigned value = 0;
+    auto [next, ec] = std::from_chars(text.data(), text.data() + text.size(), value, 16);
+    const auto used = static_cast<std::size_t>(next - text.data());
+    if (ec != std::errc{} || used == 0 || used > 4) return 0;
+    out = static_cast<std::uint16_t>(value);
+    return used;
+}
+
+}  // namespace
+
+std::optional<Ipv6Addr> parse_ipv6(std::string_view text)
+{
+    std::array<std::uint16_t, 8> groups{};
+    int n_before = 0;      // groups before "::"
+    int n_after = 0;       // groups after "::"
+    bool saw_gap = false;  // saw "::"
+    std::array<std::uint16_t, 8> after{};
+
+    if (text.starts_with("::")) {
+        saw_gap = true;
+        text.remove_prefix(2);
+    }
+    while (!text.empty()) {
+        // An embedded IPv4 tail is allowed as the last two groups.
+        if (text.find('.') != std::string_view::npos && text.find(':') == std::string_view::npos) {
+            const auto v4 = parse_ipv4(text);
+            if (!v4) return std::nullopt;
+            const std::uint32_t v = v4->value();
+            auto push = [&](std::uint16_t g) {
+                if (saw_gap) {
+                    if (n_after == 8) return false;
+                    after[static_cast<std::size_t>(n_after++)] = g;
+                } else {
+                    if (n_before == 8) return false;
+                    groups[static_cast<std::size_t>(n_before++)] = g;
+                }
+                return true;
+            };
+            if (!push(static_cast<std::uint16_t>(v >> 16)) ||
+                !push(static_cast<std::uint16_t>(v & 0xFFFF)))
+                return std::nullopt;
+            text = {};
+            break;
+        }
+        std::uint16_t g = 0;
+        const auto used = parse_group(text, g);
+        if (used == 0) return std::nullopt;
+        text.remove_prefix(used);
+        if (saw_gap) {
+            if (n_after == 8) return std::nullopt;
+            after[static_cast<std::size_t>(n_after++)] = g;
+        } else {
+            if (n_before == 8) return std::nullopt;
+            groups[static_cast<std::size_t>(n_before++)] = g;
+        }
+        if (text.empty()) break;
+        if (text.starts_with("::")) {
+            if (saw_gap) return std::nullopt;
+            saw_gap = true;
+            text.remove_prefix(2);
+        } else if (text.starts_with(':')) {
+            text.remove_prefix(1);
+            if (text.empty()) return std::nullopt;  // trailing single ':'
+        } else {
+            return std::nullopt;
+        }
+    }
+
+    if (saw_gap) {
+        if (n_before + n_after >= 8) return std::nullopt;  // "::" must stand for >= 1 group
+        for (int i = 0; i < n_after; ++i)
+            groups[static_cast<std::size_t>(8 - n_after + i)] = after[static_cast<std::size_t>(i)];
+    } else if (n_before != 8) {
+        return std::nullopt;
+    }
+
+    u128 bits = 0;
+    for (const auto g : groups) bits = (bits << 16) | g;
+    return Ipv6Addr{bits};
+}
+
+std::string to_string(Ipv6Addr addr)
+{
+    std::array<std::uint16_t, 8> groups{};
+    for (int i = 0; i < 8; ++i)
+        groups[static_cast<std::size_t>(i)] =
+            static_cast<std::uint16_t>(addr.value() >> (16 * (7 - i)));
+
+    // Find the longest run of zero groups (length >= 2) for "::" compression.
+    int best_start = -1, best_len = 0;
+    for (int i = 0; i < 8;) {
+        if (groups[static_cast<std::size_t>(i)] != 0) {
+            ++i;
+            continue;
+        }
+        int j = i;
+        while (j < 8 && groups[static_cast<std::size_t>(j)] == 0) ++j;
+        if (j - i > best_len) {
+            best_start = i;
+            best_len = j - i;
+        }
+        i = j;
+    }
+    if (best_len < 2) best_start = -1;
+
+    std::string out;
+    out.reserve(41);
+    auto append_hex = [&](std::uint16_t g) {
+        char buf[5];
+        auto [p, ec] = std::to_chars(buf, buf + sizeof buf, g, 16);
+        (void)ec;
+        out.append(buf, p);
+    };
+    for (int i = 0; i < 8;) {
+        if (i == best_start) {
+            out += "::";
+            i += best_len;
+            continue;
+        }
+        if (!out.empty() && out.back() != ':') out.push_back(':');
+        append_hex(groups[static_cast<std::size_t>(i)]);
+        ++i;
+    }
+    if (out.empty()) out = "::";
+    return out;
+}
+
+}  // namespace netbase

@@ -1,0 +1,73 @@
+// netbase/ipv6.hpp — IPv6 address value type.
+//
+// The 128-bit address is held in a single unsigned __int128 in host bit order
+// (bit 127 = first bit on the wire). GCC and Clang both provide __int128 on
+// every 64-bit target; the type is wrapped so the rest of the codebase never
+// spells the extension directly.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace netbase {
+
+/// 128-bit unsigned integer used to hold IPv6 addresses.
+using u128 = unsigned __int128;
+
+/// An IPv6 address held as a host-order 128-bit integer.
+class Ipv6Addr {
+public:
+    /// Number of bits in an address.
+    static constexpr unsigned kWidth = 128;
+
+    /// Unsigned integer representation used by the tries.
+    using value_type = u128;
+
+    constexpr Ipv6Addr() = default;
+
+    /// Constructs from a host-order 128-bit value.
+    constexpr explicit Ipv6Addr(value_type v) noexcept : bits_(v) {}
+
+    /// Constructs from the high and low 64-bit halves (high = first 8 bytes).
+    constexpr Ipv6Addr(std::uint64_t high, std::uint64_t low) noexcept
+        : bits_((value_type{high} << 64) | low) {}
+
+    /// The host-order 128-bit value.
+    [[nodiscard]] constexpr value_type value() const noexcept { return bits_; }
+
+    /// The most significant 64 bits.
+    [[nodiscard]] constexpr std::uint64_t high() const noexcept
+    {
+        return static_cast<std::uint64_t>(bits_ >> 64);
+    }
+
+    /// The least significant 64 bits.
+    [[nodiscard]] constexpr std::uint64_t low() const noexcept
+    {
+        return static_cast<std::uint64_t>(bits_);
+    }
+
+    friend constexpr bool operator==(Ipv6Addr, Ipv6Addr) = default;
+    friend constexpr auto operator<=>(Ipv6Addr a, Ipv6Addr b) noexcept
+    {
+        return a.bits_ < b.bits_   ? std::strong_ordering::less
+               : a.bits_ > b.bits_ ? std::strong_ordering::greater
+                                   : std::strong_ordering::equal;
+    }
+
+private:
+    value_type bits_ = 0;
+};
+
+/// Parses RFC 4291 text forms, including "::" compression and an embedded
+/// IPv4 tail ("::ffff:192.0.2.1"). Returns nullopt on malformed input.
+[[nodiscard]] std::optional<Ipv6Addr> parse_ipv6(std::string_view text);
+
+/// Formats in canonical RFC 5952 lower-case form with "::" compression of the
+/// longest zero run (ties broken toward the leftmost run).
+[[nodiscard]] std::string to_string(Ipv6Addr addr);
+
+}  // namespace netbase

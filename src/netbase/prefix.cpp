@@ -1,0 +1,52 @@
+#include "netbase/prefix.hpp"
+
+#include <charconv>
+
+namespace netbase {
+namespace {
+
+// Splits "addr/len" and parses the length against `max_len`.
+std::optional<std::pair<std::string_view, unsigned>> split_cidr(std::string_view text,
+                                                                unsigned max_len)
+{
+    const auto slash = text.rfind('/');
+    if (slash == std::string_view::npos) return std::nullopt;
+    const auto len_text = text.substr(slash + 1);
+    unsigned len = 0;
+    auto [next, ec] = std::from_chars(len_text.data(), len_text.data() + len_text.size(), len);
+    if (ec != std::errc{} || next != len_text.data() + len_text.size() || len > max_len)
+        return std::nullopt;
+    return std::pair{text.substr(0, slash), len};
+}
+
+}  // namespace
+
+std::optional<Prefix4> parse_prefix4(std::string_view text)
+{
+    const auto parts = split_cidr(text, 32);
+    if (!parts) return std::nullopt;
+    const auto addr = parse_ipv4(parts->first);
+    if (!addr) return std::nullopt;
+    return Prefix4{*addr, parts->second};
+}
+
+std::optional<Prefix6> parse_prefix6(std::string_view text)
+{
+    const auto parts = split_cidr(text, 128);
+    if (!parts) return std::nullopt;
+    const auto addr = parse_ipv6(parts->first);
+    if (!addr) return std::nullopt;
+    return Prefix6{*addr, parts->second};
+}
+
+std::string to_string(const Prefix4& p)
+{
+    return to_string(p.address()) + "/" + std::to_string(p.length());
+}
+
+std::string to_string(const Prefix6& p)
+{
+    return to_string(p.address()) + "/" + std::to_string(p.length());
+}
+
+}  // namespace netbase

@@ -1,0 +1,117 @@
+// netbase/prefix.hpp — CIDR prefixes over either address family.
+//
+// A Prefix<Addr> is an (address, length) pair with the address canonicalized
+// so that all bits beyond `length` are zero; two textual spellings of the same
+// route compare equal. Prefix ordering is the natural trie order (by address,
+// then by length), which the table generators rely on for dedup.
+#pragma once
+
+#include <cassert>
+#include <compare>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "netbase/bits.hpp"
+#include "netbase/ipv4.hpp"
+#include "netbase/ipv6.hpp"
+
+namespace netbase {
+
+/// A CIDR prefix of the address type `Addr` (Ipv4Addr or Ipv6Addr).
+template <class Addr>
+class Prefix {
+public:
+    using addr_type = Addr;
+    using value_type = typename Addr::value_type;
+    static constexpr unsigned kWidth = Addr::kWidth;
+
+    constexpr Prefix() = default;
+
+    /// Builds a prefix, masking the address down to `length` bits.
+    /// Precondition: length <= kWidth.
+    constexpr Prefix(Addr addr, unsigned length) noexcept
+        : addr_(Addr{static_cast<value_type>(addr.value() & high_mask<value_type>(length))}),
+          len_(static_cast<std::uint8_t>(length))
+    {
+        assert(length <= kWidth);
+    }
+
+    /// The canonical (masked) network address.
+    [[nodiscard]] constexpr Addr address() const noexcept { return addr_; }
+
+    /// The prefix length in bits.
+    [[nodiscard]] constexpr unsigned length() const noexcept { return len_; }
+
+    /// The raw integer value of the network address.
+    [[nodiscard]] constexpr value_type bits() const noexcept { return addr_.value(); }
+
+    /// First address covered by the prefix (== address()).
+    [[nodiscard]] constexpr Addr first_address() const noexcept { return addr_; }
+
+    /// Last address covered by the prefix.
+    [[nodiscard]] constexpr Addr last_address() const noexcept
+    {
+        return Addr{static_cast<value_type>(addr_.value() |
+                                            static_cast<value_type>(~high_mask<value_type>(len_)))};
+    }
+
+    /// True if `a` falls inside this prefix.
+    [[nodiscard]] constexpr bool contains(Addr a) const noexcept
+    {
+        return (a.value() & high_mask<value_type>(len_)) == addr_.value();
+    }
+
+    /// True if `other` is equal to or nested inside this prefix.
+    [[nodiscard]] constexpr bool contains(const Prefix& other) const noexcept
+    {
+        return other.len_ >= len_ && contains(other.addr_);
+    }
+
+    /// The immediate parent (one bit shorter). Precondition: length() > 0.
+    [[nodiscard]] constexpr Prefix parent() const noexcept
+    {
+        assert(len_ > 0);
+        return Prefix{addr_, static_cast<unsigned>(len_ - 1)};
+    }
+
+    /// The child prefix obtained by appending bit `b` (0 or 1).
+    /// Precondition: length() < kWidth.
+    [[nodiscard]] constexpr Prefix child(unsigned b) const noexcept
+    {
+        assert(len_ < kWidth);
+        const auto new_len = static_cast<unsigned>(len_ + 1);
+        value_type bits = addr_.value();
+        if (b != 0) bits |= static_cast<value_type>(value_type{1} << (kWidth - new_len));
+        return Prefix{Addr{bits}, new_len};
+    }
+
+    friend constexpr bool operator==(const Prefix&, const Prefix&) = default;
+    friend constexpr auto operator<=>(const Prefix& a, const Prefix& b) noexcept
+    {
+        if (a.addr_ != b.addr_) return a.addr_ <=> b.addr_;
+        return a.len_ <=> b.len_;
+    }
+
+private:
+    Addr addr_{};
+    std::uint8_t len_ = 0;
+};
+
+using Prefix4 = Prefix<Ipv4Addr>;
+using Prefix6 = Prefix<Ipv6Addr>;
+
+/// Parses "a.b.c.d/len". Returns nullopt on malformed input or len > 32.
+[[nodiscard]] std::optional<Prefix4> parse_prefix4(std::string_view text);
+
+/// Parses "hhhh::/len". Returns nullopt on malformed input or len > 128.
+[[nodiscard]] std::optional<Prefix6> parse_prefix6(std::string_view text);
+
+/// Formats "a.b.c.d/len".
+[[nodiscard]] std::string to_string(const Prefix4& p);
+
+/// Formats canonical "h::h/len".
+[[nodiscard]] std::string to_string(const Prefix6& p);
+
+}  // namespace netbase

@@ -1,0 +1,182 @@
+// poptrie/builder.ipp — FIB compilation from the RIB (included by
+// poptrie.cpp; do not include directly).
+//
+// The builder expands the binary radix RIB six bits at a time into poptrie
+// nodes, bottom-up: every node's children are constructed first (each
+// allocating its own contiguous runs), then the node allocates one contiguous
+// run for the child structs and one for its leaves. Leaf runs are compressed
+// with the leafvec convention of §3.3: a leaf slot is emitted only when its
+// value differs from the previously emitted one, with internal-node slots
+// "irrelevant" so identical runs merge across hole punching (Fig. 3).
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+
+#include "poptrie/poptrie.hpp"
+#include "rib/aggregate.hpp"
+
+namespace poptrie {
+
+template <class Addr>
+Poptrie<Addr>::Poptrie(const Config& cfg) : cfg_(cfg)
+{
+    const rib::RadixTrie<Addr> empty;
+    build_from(empty);
+}
+
+template <class Addr>
+Poptrie<Addr>::Poptrie(const rib::RadixTrie<Addr>& rib, const Config& cfg) : cfg_(cfg)
+{
+    if (cfg_.route_aggregation) {
+        const auto aggregated = rib::aggregate(rib);
+        build_from(aggregated);
+    } else {
+        build_from(rib);
+    }
+}
+
+template <class Addr>
+std::uint32_t Poptrie<Addr>::alloc_nodes(std::uint32_t n)
+{
+    for (;;) {
+        if (const auto idx = node_alloc_->allocate(n)) {
+            inode_count_ += n;
+            if (in_update_) updates_.nodes_allocated += n;
+            return *idx;
+        }
+        node_alloc_->grow();
+        nodes_.resize(node_alloc_->capacity());
+        if (in_update_) ++updates_.pool_growths;
+    }
+}
+
+template <class Addr>
+std::uint32_t Poptrie<Addr>::alloc_leaves(std::uint32_t n)
+{
+    for (;;) {
+        if (const auto idx = leaf_alloc_->allocate(n)) {
+            leaf_count_ += n;
+            if (in_update_) updates_.leaves_allocated += n;
+            return *idx;
+        }
+        leaf_alloc_->grow();
+        leaves_.resize(leaf_alloc_->capacity());
+        if (in_update_) ++updates_.pool_growths;
+    }
+}
+
+template <class Addr>
+typename Poptrie<Addr>::Node Poptrie<Addr>::make_node(const detail::SlotCtx<Addr>& slot,
+                                                      unsigned level)
+{
+    detail::SlotCtx<Addr> slots[64];
+    detail::expand_stride<Addr>(slot, level, std::span<detail::SlotCtx<Addr>, 64>{slots});
+
+    Node n;
+    Node kids[64];
+    NextHop leaves[64];
+    unsigned nkids = 0;
+    unsigned nleaves = 0;
+    NextHop last = rib::kNoRoute;
+    bool have_last = false;
+    for (unsigned u = 0; u < 64; ++u) {
+        if (detail::is_internal(slots[u])) {
+            n.vector |= std::uint64_t{1} << u;
+            kids[nkids++] = make_node(slots[u], level + kStride);
+            continue;
+        }
+        const NextHop v = slots[u].inherited;
+        if (cfg_.leaf_compression) {
+            // New run starts when the value differs from the previous leaf;
+            // internal slots in between are irrelevant and do not break runs.
+            if (!have_last || v != last) {
+                n.leafvec |= std::uint64_t{1} << u;
+                leaves[nleaves++] = v;
+                last = v;
+                have_last = true;
+            }
+        } else {
+            leaves[nleaves++] = v;
+        }
+    }
+    if (nkids != 0) {
+        n.base1 = alloc_nodes(nkids);
+        std::copy(kids, kids + nkids, nodes_.begin() + n.base1);
+    }
+    if (nleaves != 0) {
+        n.base0 = alloc_leaves(nleaves);
+        std::copy(leaves, leaves + nleaves, leaves_.begin() + n.base0);
+    }
+    return n;
+}
+
+template <class Addr>
+std::uint32_t Poptrie<Addr>::build_root(const detail::SlotCtx<Addr>& slot, unsigned level)
+{
+    const Node content = make_node(slot, level);
+    const std::uint32_t idx = alloc_nodes(1);
+    nodes_[idx] = content;
+    return idx;
+}
+
+template <class Addr>
+void Poptrie<Addr>::build_from(const rib::RadixTrie<Addr>& rib)
+{
+    assert(cfg_.direct_bits == 0 || (cfg_.direct_bits >= 1 && cfg_.direct_bits < kWidth));
+    node_alloc_ = std::make_unique<alloc::BuddyAllocator>(1024);
+    leaf_alloc_ = std::make_unique<alloc::BuddyAllocator>(1024);
+    nodes_.assign(node_alloc_->capacity(), Node{});
+    leaves_.assign(leaf_alloc_->capacity(), rib::kNoRoute);
+    inode_count_ = 0;
+    leaf_count_ = 0;
+
+    const auto root = detail::root_ctx(rib);
+    if (cfg_.direct_bits == 0) {
+        root_ = build_root(root, 0);
+    } else {
+        direct_.assign(std::size_t{1} << cfg_.direct_bits, kDirectLeafBit);
+        std::size_t i = 0;
+        detail::expand(root, 0, cfg_.direct_bits, [&](const detail::SlotCtx<Addr>& s) {
+            direct_[i++] = detail::is_internal(s)
+                               ? build_root(s, cfg_.direct_bits)
+                               : (kDirectLeafBit | std::uint32_t{s.inherited});
+        });
+    }
+    ensure_headroom();
+}
+
+template <class Addr>
+void Poptrie<Addr>::ensure_headroom()
+{
+    const auto target_nodes =
+        static_cast<std::uint32_t>(std::max<std::size_t>(1024, inode_count_)
+                                   << cfg_.pool_headroom_log2);
+    while (node_alloc_->capacity() < target_nodes) node_alloc_->grow();
+    nodes_.resize(node_alloc_->capacity());
+    const auto target_leaves =
+        static_cast<std::uint32_t>(std::max<std::size_t>(1024, leaf_count_)
+                                   << cfg_.pool_headroom_log2);
+    while (leaf_alloc_->capacity() < target_leaves) leaf_alloc_->grow();
+    leaves_.resize(leaf_alloc_->capacity());
+}
+
+template <class Addr>
+Stats Poptrie<Addr>::stats() const noexcept
+{
+    Stats s;
+    s.internal_nodes = inode_count_;
+    s.leaves = leaf_count_;
+    s.direct_slots = cfg_.direct_bits == 0 ? 0 : (std::size_t{1} << cfg_.direct_bits);
+    const std::size_t node_bytes = cfg_.leaf_compression ? 24 : 16;
+    s.memory_bytes = inode_count_ * node_bytes + leaf_count_ * sizeof(NextHop) +
+                     s.direct_slots * sizeof(std::uint32_t);
+    s.allocated_bytes = nodes_.capacity() * sizeof(Node) +
+                        leaves_.capacity() * sizeof(NextHop) +
+                        direct_.capacity() * sizeof(std::uint32_t);
+    s.node_pool_used = node_alloc_->used();
+    s.leaf_pool_used = leaf_alloc_->used();
+    return s;
+}
+
+}  // namespace poptrie

@@ -1,0 +1,53 @@
+// poptrie/config.hpp — build-time options and observable statistics.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace poptrie {
+
+/// Options controlling how a Poptrie is compiled. The defaults correspond to
+/// the paper's best configuration ("Poptrie18": leafvec + route aggregation +
+/// direct pointing with s = 18).
+struct Config {
+    /// §3.4 direct pointing parameter `s`: the most significant s bits index
+    /// a 2^s top-level array. 0 disables direct pointing ("Poptrie0").
+    unsigned direct_bits = 18;
+
+    /// §3.3 leaf compression with the `leafvec` bit vector. When false the
+    /// structure is the paper's "basic" Poptrie: one leaf slot per zero bit
+    /// of `vector`, and lookup counts zeros in `vector` instead.
+    bool leaf_compression = true;
+
+    /// §3 route aggregation: compress the RIB's route set (identical-next-hop
+    /// subtree merging + redundant-route removal) before building the FIB.
+    bool route_aggregation = true;
+
+    /// Initial pool capacity in nodes/leaves is the built size times
+    /// 2^pool_headroom_log2, so incremental updates rarely need to grow the
+    /// pools (growing is not safe under concurrent lookups; see Poptrie docs).
+    unsigned pool_headroom_log2 = 1;
+};
+
+/// Size and shape statistics, matching the columns of Table 2.
+struct Stats {
+    std::size_t internal_nodes = 0;  ///< "# of inodes"
+    std::size_t leaves = 0;          ///< "# of leaves"
+    std::size_t direct_slots = 0;    ///< 2^s (0 when direct pointing is off)
+
+    /// Paper-style analytic footprint: inodes x (24 or 16 in basic mode)
+    /// + leaves x 2 + direct slots x 4 bytes.
+    std::size_t memory_bytes = 0;
+
+    /// Actual bytes reserved by the node/leaf pools and the direct array
+    /// (includes buddy-allocator headroom).
+    std::size_t allocated_bytes = 0;
+
+    /// Buddy-allocator slots currently handed out (power-of-two rounded).
+    /// After withdrawing every route and draining reclamation these return
+    /// to the empty-table baseline — the tests use them as a leak check.
+    std::size_t node_pool_used = 0;
+    std::size_t leaf_pool_used = 0;
+};
+
+}  // namespace poptrie

@@ -1,0 +1,14 @@
+// poptrie/poptrie.cpp — out-of-line member definitions and explicit
+// instantiations for the two address families.
+
+#include "poptrie/poptrie.hpp"
+
+#include "poptrie/builder.ipp"
+#include "poptrie/updater.ipp"
+
+namespace poptrie {
+
+template class Poptrie<netbase::Ipv4Addr>;
+template class Poptrie<netbase::Ipv6Addr>;
+
+}  // namespace poptrie

@@ -1,0 +1,316 @@
+// poptrie/poptrie.hpp — the paper's data structure: a 64-ary multiway trie
+// whose descendant arrays are compressed with population-counted bit vectors.
+//
+// One class template covers IPv4 (Addr = netbase::Ipv4Addr) and IPv6
+// (netbase::Ipv6Addr); the paper's §4.10 IPv6 variant is the same algorithm
+// over a 128-bit key. All of the paper's design options are runtime
+// configuration (see poptrie::Config):
+//
+//   * "basic"        — Config{.leaf_compression = false, .route_aggregation = false}
+//   * "leafvec"      — Config{.leaf_compression = true,  .route_aggregation = false}
+//   * "Poptrie"      — defaults (leafvec + aggregation)
+//   * "PoptrieS"     — Config{.direct_bits = S} (§3.4 direct pointing)
+//
+// Concurrency contract (§3.5): any number of reader threads may call
+// lookup() concurrently with a single writer thread calling apply().
+// Replacement arrays are published with release stores and reclaimed through
+// the EbrDomain; readers that run concurrently with updates must hold an
+// EbrDomain::Guard around batches of lookups. Growing the node/leaf pools is
+// NOT safe under concurrent readers — size headroom via Config, or quiesce.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "alloc/buddy_allocator.hpp"
+#include "netbase/bits.hpp"
+#include "netbase/prefix.hpp"
+#include "poptrie/config.hpp"
+#include "poptrie/detail.hpp"
+#include "rib/radix_trie.hpp"
+#include "rib/route.hpp"
+#include "sync/atomic_utils.hpp"
+#include "sync/ebr.hpp"
+
+namespace poptrie {
+
+/// Longest-prefix-match FIB compiled from a rib::RadixTrie.
+template <class Addr>
+class Poptrie {
+public:
+    using addr_type = Addr;
+    using value_type = typename Addr::value_type;
+    using prefix_type = netbase::Prefix<Addr>;
+    using NextHop = rib::NextHop;
+
+    /// Bits consumed per trie level (k in the paper; 6 → 64-ary).
+    static constexpr unsigned kStride = 6;
+    /// Address width in bits.
+    static constexpr unsigned kWidth = Addr::kWidth;
+    /// Direct-pointing slot flag: MSB set means the slot holds a FIB index
+    /// directly (§3.4), clear means it holds an internal-node index.
+    static constexpr std::uint32_t kDirectLeafBit = 0x8000'0000u;
+
+    /// Internal node, exactly the paper's layout: 24 bytes with leafvec,
+    /// 16 effective bytes in "basic" mode (leafvec unused).
+    struct Node {
+        std::uint64_t vector = 0;   ///< bit n = 1: child n is an internal node
+        std::uint64_t leafvec = 0;  ///< bit n = 1: slot n starts a new leaf run (§3.3)
+        std::uint32_t base0 = 0;    ///< first index of this node's leaves in L
+        std::uint32_t base1 = 0;    ///< first index of this node's children in N
+
+        friend bool operator==(const Node&, const Node&) = default;
+    };
+
+    /// Cumulative incremental-update accounting (§4.9's "number of
+    /// replacements ... per update").
+    struct UpdateCounters {
+        std::uint64_t updates = 0;
+        std::uint64_t direct_stores = 0;     ///< top-level array slots replaced
+        std::uint64_t nodes_allocated = 0;   ///< internal nodes written
+        std::uint64_t leaves_allocated = 0;  ///< leaf slots written
+        std::uint64_t nodes_retired = 0;
+        std::uint64_t leaves_retired = 0;
+        std::uint64_t pool_growths = 0;  ///< pool grew mid-update (reader-unsafe)
+    };
+
+    /// Builds an empty FIB (every lookup returns rib::kNoRoute).
+    explicit Poptrie(const Config& cfg = {});
+
+    /// Compiles a FIB from `rib` (route aggregation applied per cfg).
+    explicit Poptrie(const rib::RadixTrie<Addr>& rib, const Config& cfg = {});
+
+    Poptrie(Poptrie&&) noexcept = default;
+    Poptrie& operator=(Poptrie&&) noexcept = default;
+
+    /// Longest-prefix-match lookup; kNoRoute on miss. Dispatches once on the
+    /// configuration; benches use lookup_raw<> to pin the specialization.
+    [[nodiscard]] NextHop lookup(Addr addr) const noexcept
+    {
+        return cfg_.leaf_compression ? lookup_raw<true>(addr.value())
+                                     : lookup_raw<false>(addr.value());
+    }
+
+    /// The hot path (Algorithms 1–3 fused). UseLeafvec selects Algorithm 2's
+    /// leaf compression; SoftPopcount swaps the popcnt instruction for the
+    /// portable fallback (§3.2), for the ablation bench.
+    template <bool UseLeafvec, bool SoftPopcount = false>
+    [[nodiscard]] NextHop lookup_raw(value_type key) const noexcept
+    {
+        constexpr auto pop = [](std::uint64_t v) noexcept {
+            if constexpr (SoftPopcount)
+                return netbase::popcount64_table(v);  // see bits.hpp: _soft folds to popcnt
+            else
+                return netbase::popcount64(v);
+        };
+        std::uint32_t index;
+        unsigned offset;
+        if (cfg_.direct_bits != 0) {  // Algorithm 3: direct pointing
+            const auto slot = static_cast<std::size_t>(
+                netbase::extract(key, 0, cfg_.direct_bits));
+            const std::uint32_t dindex = psync::load_acquire(direct_[slot]);
+            if (dindex & kDirectLeafBit)
+                return static_cast<NextHop>(dindex & ~kDirectLeafBit);
+            index = dindex;
+            offset = cfg_.direct_bits;
+        } else {
+            index = root_;
+            offset = 0;
+        }
+        std::uint64_t v = chunk(key, offset);
+        std::uint64_t vector = psync::load_relaxed(nodes_[index].vector);
+        while (vector & (std::uint64_t{1} << v)) {  // Algorithm 1 main loop
+            const std::uint32_t base = psync::load_acquire(nodes_[index].base1);
+            const auto bc =
+                static_cast<std::uint32_t>(pop(vector & netbase::low_mask_inclusive(
+                                                             static_cast<unsigned>(v))));
+            index = base + bc - 1;
+            vector = psync::load_relaxed(nodes_[index].vector);
+            offset += kStride;
+            v = chunk(key, offset);
+        }
+        const std::uint32_t base = psync::load_acquire(nodes_[index].base0);
+        const std::uint64_t lv = UseLeafvec ? psync::load_relaxed(nodes_[index].leafvec)
+                                            : ~vector;  // Algorithm 1 line 14
+        const auto bc = static_cast<std::uint32_t>(
+            pop(lv & netbase::low_mask_inclusive(static_cast<unsigned>(v))));
+        return psync::load_relaxed(leaves_[base + bc - 1]);
+    }
+
+    /// Batched lookup: resolves `n` keys into `out`, walking `Lanes` lookups
+    /// in lockstep with software prefetch one trie level ahead. A single
+    /// lookup is a chain of dependent loads, so a forwarding loop that has a
+    /// vector of destinations in hand (it always does — packets arrive in
+    /// bursts) can overlap the memory latency of independent lookups. This
+    /// is an extension beyond the paper; bench_ablation_options quantifies
+    /// it. Concurrency contract is the same as lookup().
+    template <bool UseLeafvec, unsigned Lanes = 8>
+    void lookup_batch(const value_type* keys, NextHop* out, std::size_t n) const noexcept
+    {
+        static_assert(Lanes >= 2 && Lanes <= 32);
+        std::size_t i = 0;
+        for (; i + Lanes <= n; i += Lanes) {
+            std::uint32_t index[Lanes];
+            unsigned offset[Lanes];
+            bool done[Lanes] = {};
+            unsigned remaining = Lanes;
+            for (unsigned l = 0; l < Lanes; ++l) {
+                if (cfg_.direct_bits != 0) {
+                    const auto slot = static_cast<std::size_t>(
+                        netbase::extract(keys[i + l], 0, cfg_.direct_bits));
+                    const std::uint32_t dindex = psync::load_acquire(direct_[slot]);
+                    if (dindex & kDirectLeafBit) {
+                        out[i + l] = static_cast<NextHop>(dindex & ~kDirectLeafBit);
+                        done[l] = true;
+                        --remaining;
+                        continue;
+                    }
+                    index[l] = dindex;
+                    offset[l] = cfg_.direct_bits;
+                } else {
+                    index[l] = root_;
+                    offset[l] = 0;
+                }
+                __builtin_prefetch(&nodes_[index[l]]);
+            }
+            while (remaining != 0) {
+                for (unsigned l = 0; l < Lanes; ++l) {
+                    if (done[l]) continue;
+                    const value_type key = keys[i + l];
+                    const std::uint64_t v = chunk(key, offset[l]);
+                    const std::uint64_t vector = psync::load_relaxed(nodes_[index[l]].vector);
+                    if (vector & (std::uint64_t{1} << v)) {
+                        const std::uint32_t base =
+                            psync::load_acquire(nodes_[index[l]].base1);
+                        const auto bc = static_cast<std::uint32_t>(netbase::popcount64(
+                            vector & netbase::low_mask_inclusive(static_cast<unsigned>(v))));
+                        index[l] = base + bc - 1;
+                        offset[l] += kStride;
+                        __builtin_prefetch(&nodes_[index[l]]);
+                        continue;
+                    }
+                    const std::uint32_t base = psync::load_acquire(nodes_[index[l]].base0);
+                    const std::uint64_t lv =
+                        UseLeafvec ? psync::load_relaxed(nodes_[index[l]].leafvec) : ~vector;
+                    const auto bc = static_cast<std::uint32_t>(netbase::popcount64(
+                        lv & netbase::low_mask_inclusive(static_cast<unsigned>(v))));
+                    out[i + l] = psync::load_relaxed(leaves_[base + bc - 1]);
+                    done[l] = true;
+                    --remaining;
+                }
+            }
+        }
+        for (; i < n; ++i) out[i] = lookup_raw<UseLeafvec>(keys[i]);
+    }
+
+    /// Applies one route change (§3.5 incremental update): updates `rib`
+    /// (insert/replace when next_hop != kNoRoute, withdraw otherwise) and
+    /// patches this FIB in place, publishing atomically and retiring replaced
+    /// arrays through the EBR domain. `rib` must be the table this FIB
+    /// currently reflects. When the FIB was built with route aggregation the
+    /// touched subtrees are recompiled from the unaggregated RIB — the
+    /// lookup results are identical, the touched region is merely compressed
+    /// a little less tightly than a full rebuild would achieve.
+    void apply(rib::RadixTrie<Addr>& rib, const prefix_type& prefix, NextHop next_hop);
+
+    /// Registers the calling thread for safe lookups concurrent with apply().
+    [[nodiscard]] psync::EbrDomain::Reader register_reader() { return ebr_->register_reader(); }
+
+    /// Runs pending reclamation to completion (quiescent point / shutdown).
+    void drain() { ebr_->drain(); }
+
+    /// Size/shape statistics (Table 2 columns).
+    [[nodiscard]] Stats stats() const noexcept;
+
+    /// Cumulative update accounting (§4.9).
+    [[nodiscard]] const UpdateCounters& update_counters() const noexcept { return updates_; }
+
+    /// The configuration this FIB was built with.
+    [[nodiscard]] const Config& config() const noexcept { return cfg_; }
+
+private:
+    // --- shared by builder & updater (definitions in poptrie.cpp) ---
+    void build_from(const rib::RadixTrie<Addr>& rib);
+    Node make_node(const detail::SlotCtx<Addr>& slot, unsigned level);
+    std::uint32_t build_root(const detail::SlotCtx<Addr>& slot, unsigned level);
+    std::uint32_t alloc_nodes(std::uint32_t n);
+    std::uint32_t alloc_leaves(std::uint32_t n);
+    void ensure_headroom();
+
+    // --- updater internals ---
+    struct Rebuilt {
+        bool replaced = false;
+        Node fresh{};
+    };
+    struct Affected {
+        value_type lo{};
+        value_type hi{};
+        unsigned plen = 0;
+    };
+    Rebuilt update_node(std::uint32_t index, const detail::SlotCtx<Addr>& slot, unsigned level,
+                        value_type base, const Affected& aff);
+    void update_direct_slot(const rib::RadixTrie<Addr>& rib, std::uint64_t d,
+                            const Affected& aff);
+    void retire_nodes(std::uint32_t offset, std::uint32_t count);
+    void retire_leaves(std::uint32_t offset, std::uint32_t count);
+    void retire_contents(const Node& n);  // descendant arrays incl. n's own
+
+    /// 6-bit chunk at bit offset `off`, zero-padded past the address width
+    /// (the builder uses the same convention, so the padded slots agree).
+    [[nodiscard]] static std::uint64_t chunk(value_type key, unsigned off) noexcept
+    {
+        if (off >= kWidth) return 0;
+        return static_cast<std::uint64_t>(static_cast<value_type>(key << off) >>
+                                          (kWidth - kStride));
+    }
+
+    [[nodiscard]] std::uint32_t old_child_index(const Node& n, unsigned u) const noexcept
+    {
+        return n.base1 +
+               static_cast<std::uint32_t>(netbase::popcount64(
+                   n.vector & netbase::low_mask_inclusive(u))) -
+               1;
+    }
+
+    [[nodiscard]] NextHop old_leaf_value(const Node& n, unsigned u) const noexcept
+    {
+        const std::uint64_t lv = cfg_.leaf_compression ? n.leafvec : ~n.vector;
+        return leaves_[n.base0 +
+                       static_cast<std::uint32_t>(
+                           netbase::popcount64(lv & netbase::low_mask_inclusive(u))) -
+                       1];
+    }
+
+    [[nodiscard]] std::uint32_t leaf_count_of(const Node& n) const noexcept
+    {
+        if (cfg_.leaf_compression)
+            return static_cast<std::uint32_t>(netbase::popcount64(n.leafvec));
+        return 64 - static_cast<std::uint32_t>(netbase::popcount64(n.vector));
+    }
+
+    Config cfg_{};
+    std::vector<Node> nodes_;
+    std::vector<NextHop> leaves_;
+    std::vector<std::uint32_t> direct_;  // 2^s entries when direct_bits > 0
+    std::uint32_t root_ = 0;             // root node index when direct_bits == 0
+    // Heap-allocated so retired-block deleters can capture stable pointers
+    // even if the Poptrie object itself is moved.
+    std::unique_ptr<alloc::BuddyAllocator> node_alloc_ =
+        std::make_unique<alloc::BuddyAllocator>(1024);
+    std::unique_ptr<alloc::BuddyAllocator> leaf_alloc_ =
+        std::make_unique<alloc::BuddyAllocator>(1024);
+    std::unique_ptr<psync::EbrDomain> ebr_ = std::make_unique<psync::EbrDomain>();
+    std::size_t inode_count_ = 0;
+    std::size_t leaf_count_ = 0;
+    UpdateCounters updates_{};
+    bool in_update_ = false;
+};
+
+using Poptrie4 = Poptrie<netbase::Ipv4Addr>;
+using Poptrie6 = Poptrie<netbase::Ipv6Addr>;
+
+extern template class Poptrie<netbase::Ipv4Addr>;
+extern template class Poptrie<netbase::Ipv6Addr>;
+
+}  // namespace poptrie

@@ -1,0 +1,250 @@
+// poptrie/updater.ipp — §3.5 incremental, lock-free update (included by
+// poptrie.cpp; do not include directly).
+//
+// Strategy (mirrors the paper's three steps):
+//  1. The route change is applied to the RIB radix tree first; the affected
+//     address range is [prefix.first, prefix.last] and a poptrie slot is
+//     untouched when it does not intersect that range or when a route deeper
+//     than the updated prefix covers its whole block (the geometric
+//     equivalent of the paper's radix-node marking).
+//  2. Affected subtrees are recompiled bottom-up, reusing the node structs of
+//     untouched slots; new arrays are allocated from the buddy pools.
+//  3. Publication: when a rebuilt node keeps its vector and leafvec, its new
+//     arrays are published by release-storing base0/base1 in place; when the
+//     shape changes, the fresh node propagates up into its parent's new child
+//     array, at worst reaching the top where a single direct-pointing slot
+//     (or the root index) is swapped atomically. Replaced arrays are retired
+//     through the EBR domain and freed only after a grace period.
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+
+#include "poptrie/poptrie.hpp"
+
+namespace poptrie {
+
+template <class Addr>
+void Poptrie<Addr>::retire_nodes(std::uint32_t offset, std::uint32_t count)
+{
+    inode_count_ -= count;
+    if (in_update_) updates_.nodes_retired += count;
+    auto* const pool = node_alloc_.get();
+    ebr_->retire([pool, offset, count] { pool->free(offset, count); });
+}
+
+template <class Addr>
+void Poptrie<Addr>::retire_leaves(std::uint32_t offset, std::uint32_t count)
+{
+    leaf_count_ -= count;
+    if (in_update_) updates_.leaves_retired += count;
+    auto* const pool = leaf_alloc_.get();
+    ebr_->retire([pool, offset, count] { pool->free(offset, count); });
+}
+
+template <class Addr>
+void Poptrie<Addr>::retire_contents(const Node& n)
+{
+    const auto count = static_cast<std::uint32_t>(netbase::popcount64(n.vector));
+    for (std::uint32_t i = 0; i < count; ++i) retire_contents(nodes_[n.base1 + i]);
+    if (count != 0) retire_nodes(n.base1, count);
+    const auto leaf_count = leaf_count_of(n);
+    if (leaf_count != 0) retire_leaves(n.base0, leaf_count);
+}
+
+template <class Addr>
+typename Poptrie<Addr>::Rebuilt Poptrie<Addr>::update_node(std::uint32_t index,
+                                                           const detail::SlotCtx<Addr>& slot,
+                                                           unsigned level, value_type base,
+                                                           const Affected& aff)
+{
+    const Node old = nodes_[index];
+    detail::SlotCtx<Addr> slots[64];
+    detail::expand_stride<Addr>(slot, level, std::span<detail::SlotCtx<Addr>, 64>{slots});
+
+    // Geometry of one slot's address block at this level (blocks shrink
+    // below 6 bits near the bottom of the address; duplicate padded slots
+    // collapse onto the same block, matching chunk()'s zero padding).
+    const unsigned real_bits = kWidth - level >= kStride ? kStride : kWidth - level;
+    const unsigned pad_bits = kStride - real_bits;
+    const unsigned span_bits = kWidth - level - real_bits;
+    const value_type span_ones =
+        span_bits == 0 ? value_type{0}
+                       : static_cast<value_type>((value_type{1} << span_bits) - 1);
+
+    Node n;
+    Node kids[64];
+    NextHop new_leaves[64];
+    unsigned nkids = 0;
+    unsigned nleaves = 0;
+    NextHop last = rib::kNoRoute;
+    bool have_last = false;
+    const auto push_leaf = [&](NextHop v, unsigned u) {
+        if (cfg_.leaf_compression) {
+            if (!have_last || v != last) {
+                n.leafvec |= std::uint64_t{1} << u;
+                new_leaves[nleaves++] = v;
+                last = v;
+                have_last = true;
+            }
+        } else {
+            new_leaves[nleaves++] = v;
+        }
+    };
+
+    for (unsigned u = 0; u < 64; ++u) {
+        const value_type lo =
+            base | (static_cast<value_type>(std::uint64_t{u} >> pad_bits) << span_bits);
+        const value_type hi = lo | span_ones;
+        const bool overlaps = !(hi < aff.lo || aff.hi < lo);
+        const bool touched = overlaps && !(slots[u].route_depth > aff.plen);
+        const bool old_internal = (old.vector >> u) & 1;
+
+        if (!touched) {
+            if (old_internal) {
+                n.vector |= std::uint64_t{1} << u;
+                kids[nkids++] = nodes_[old_child_index(old, u)];
+            } else {
+                push_leaf(old_leaf_value(old, u), u);
+            }
+            continue;
+        }
+        if (detail::is_internal(slots[u])) {
+            n.vector |= std::uint64_t{1} << u;
+            if (old_internal) {
+                const std::uint32_t child = old_child_index(old, u);
+                const Rebuilt r = update_node(child, slots[u], level + kStride, lo, aff);
+                kids[nkids++] = r.replaced ? r.fresh : nodes_[child];
+            } else {
+                kids[nkids++] = make_node(slots[u], level + kStride);
+            }
+        } else {
+            push_leaf(slots[u].inherited, u);
+            if (old_internal) retire_contents(nodes_[old_child_index(old, u)]);
+        }
+    }
+
+    const auto old_nkids = static_cast<std::uint32_t>(netbase::popcount64(old.vector));
+    const auto old_nleaves = leaf_count_of(old);
+    const bool shape_same =
+        n.vector == old.vector && (!cfg_.leaf_compression || n.leafvec == old.leafvec);
+    const bool kids_equal =
+        nkids == old_nkids && std::equal(kids, kids + nkids, nodes_.begin() + old.base1);
+    const bool leaves_equal = nleaves == old_nleaves &&
+                              std::equal(new_leaves, new_leaves + nleaves,
+                                         leaves_.begin() + old.base0);
+
+    if (shape_same) {
+        if (kids_equal && leaves_equal) return {};  // children self-published, or no-op
+        // In-place publication: the node keeps its identity, only the arrays
+        // it points at are replaced (the paper's "replace the root's node
+        // array or leaf array with an atomic instruction").
+        if (!kids_equal) {
+            std::uint32_t nb1 = 0;
+            if (nkids != 0) {
+                nb1 = alloc_nodes(nkids);
+                std::copy(kids, kids + nkids, nodes_.begin() + nb1);
+            }
+            psync::store_release(nodes_[index].base1, nb1);
+            if (old_nkids != 0) retire_nodes(old.base1, old_nkids);
+        }
+        if (!leaves_equal) {
+            std::uint32_t nb0 = 0;
+            if (nleaves != 0) {
+                nb0 = alloc_leaves(nleaves);
+                std::copy(new_leaves, new_leaves + nleaves, leaves_.begin() + nb0);
+            }
+            psync::store_release(nodes_[index].base0, nb0);
+            if (old_nleaves != 0) retire_leaves(old.base0, old_nleaves);
+        }
+        return {};
+    }
+
+    // Shape changed: hand a fresh node up to the caller.
+    if (nkids != 0) {
+        n.base1 = alloc_nodes(nkids);
+        std::copy(kids, kids + nkids, nodes_.begin() + n.base1);
+    }
+    if (nleaves != 0) {
+        n.base0 = alloc_leaves(nleaves);
+        std::copy(new_leaves, new_leaves + nleaves, leaves_.begin() + n.base0);
+    }
+    if (old_nkids != 0) retire_nodes(old.base1, old_nkids);
+    if (old_nleaves != 0) retire_leaves(old.base0, old_nleaves);
+    return {true, n};
+}
+
+template <class Addr>
+void Poptrie<Addr>::update_direct_slot(const rib::RadixTrie<Addr>& rib, std::uint64_t d,
+                                       const Affected& aff)
+{
+    const unsigned s = cfg_.direct_bits;
+    const auto slot = detail::walk_to(rib, d, s);
+    if (slot.route_depth > aff.plen) return;  // a more specific route shadows this block
+    const value_type base = static_cast<value_type>(static_cast<value_type>(d)
+                                                    << (kWidth - s));
+    const std::uint32_t old = direct_[d];
+
+    if (detail::is_internal(slot)) {
+        if (old & kDirectLeafBit) {
+            const Node content = make_node(slot, s);
+            const std::uint32_t idx = alloc_nodes(1);
+            nodes_[idx] = content;
+            psync::store_release(direct_[d], idx);
+            ++updates_.direct_stores;
+        } else {
+            const Rebuilt r = update_node(old, slot, s, base, aff);
+            if (r.replaced) {
+                const std::uint32_t idx = alloc_nodes(1);
+                nodes_[idx] = r.fresh;
+                psync::store_release(direct_[d], idx);
+                ++updates_.direct_stores;
+                retire_nodes(old, 1);
+            }
+        }
+    } else {
+        const std::uint32_t fresh = kDirectLeafBit | std::uint32_t{slot.inherited};
+        if (fresh != old) {
+            psync::store_release(direct_[d], fresh);
+            ++updates_.direct_stores;
+            if (!(old & kDirectLeafBit)) {
+                retire_contents(nodes_[old]);
+                retire_nodes(old, 1);
+            }
+        }
+    }
+}
+
+template <class Addr>
+void Poptrie<Addr>::apply(rib::RadixTrie<Addr>& rib, const prefix_type& prefix, NextHop next_hop)
+{
+    if (next_hop == rib::kNoRoute) {
+        rib.erase(prefix);
+    } else {
+        rib.insert(prefix, next_hop);
+    }
+    in_update_ = true;
+    ++updates_.updates;
+    const Affected aff{prefix.first_address().value(), prefix.last_address().value(),
+                       prefix.length()};
+    if (cfg_.direct_bits == 0) {
+        const auto root = detail::root_ctx(rib);
+        const Rebuilt r = update_node(root_, root, 0, value_type{0}, aff);
+        if (r.replaced) {
+            const std::uint32_t idx = alloc_nodes(1);
+            nodes_[idx] = r.fresh;
+            const std::uint32_t old = root_;
+            psync::store_release(root_, idx);
+            ++updates_.direct_stores;
+            retire_nodes(old, 1);
+        }
+    } else {
+        const std::uint64_t d_lo = netbase::extract(aff.lo, 0, cfg_.direct_bits);
+        const std::uint64_t d_hi = netbase::extract(aff.hi, 0, cfg_.direct_bits);
+        for (std::uint64_t d = d_lo; d <= d_hi; ++d) update_direct_slot(rib, d, aff);
+    }
+    in_update_ = false;
+    ebr_->try_reclaim();
+}
+
+}  // namespace poptrie

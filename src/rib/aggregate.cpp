@@ -1,0 +1,109 @@
+#include "rib/aggregate.hpp"
+
+namespace rib {
+namespace {
+
+// Coverage classification of a subtree's address space, considering only the
+// routes inside the subtree:
+//   kEmpty   — no routes at all: every address resolves to the inherited hop;
+//   kFull    — fully covered, every address resolves to `val`;
+//   kPartial — the routed portion uniformly resolves to `val`, but gaps
+//              remain: uniform overall iff the inherited hop equals `val`;
+//   kMixed   — at least two different resolutions regardless of inheritance.
+//
+// The classification is cached in the radix node's scratch fields between
+// the bottom-up compute pass and the top-down emit pass.
+enum Kind : std::uint8_t { kEmpty, kFull, kPartial, kMixed };
+
+struct Cov {
+    Kind kind = kEmpty;
+    NextHop val = kNoRoute;
+};
+
+// Resolves a child coverage when gaps are filled by route `r`.
+Cov fill(const Cov& c, NextHop r)
+{
+    switch (c.kind) {
+    case kEmpty: return {kFull, r};
+    case kFull: return c;
+    case kPartial: return c.val == r ? Cov{kFull, r} : Cov{kMixed, kNoRoute};
+    case kMixed: return c;
+    }
+    return c;
+}
+
+// Merges sibling coverages when the parent has no route of its own.
+Cov merge(const Cov& a, const Cov& b)
+{
+    if (a.kind == kMixed || b.kind == kMixed) return {kMixed, kNoRoute};
+    if (a.kind == kEmpty && b.kind == kEmpty) return {kEmpty, kNoRoute};
+    if (a.kind == kEmpty) return {kPartial, b.val};
+    if (b.kind == kEmpty) return {kPartial, a.val};
+    if (a.val != b.val) return {kMixed, kNoRoute};
+    if (a.kind == kFull && b.kind == kFull) return {kFull, a.val};
+    return {kPartial, a.val};
+}
+
+template <class Node>
+Cov compute(const Node* n)
+{
+    if (n == nullptr) return {kEmpty, kNoRoute};
+    const Cov c0 = compute(n->child[0].get());
+    const Cov c1 = compute(n->child[1].get());
+    Cov result;
+    if (n->has_route) {
+        // The node's own route fills both children's gaps.
+        const Cov e0 = fill(c0, n->next_hop);
+        const Cov e1 = fill(c1, n->next_hop);
+        result = (e0.kind == kFull && e1.kind == kFull && e0.val == e1.val)
+                     ? Cov{kFull, e0.val}
+                     : Cov{kMixed, kNoRoute};
+    } else {
+        result = merge(c0, c1);
+    }
+    n->scratch_kind = result.kind;
+    n->scratch_value = result.val;
+    return result;
+}
+
+template <class Node, class Prefix, class Out>
+void emit(const Node* n, Prefix at, NextHop inherited, Out& out)
+{
+    if (n == nullptr) return;
+    const Cov c{static_cast<Kind>(n->scratch_kind), n->scratch_value};
+    switch (c.kind) {
+    case kEmpty:
+        return;
+    case kFull:
+        if (c.val != inherited) out.push_back({at, c.val});
+        return;
+    case kPartial:
+        if (c.val == inherited) return;  // gaps and routes both resolve to `inherited`
+        break;                           // must descend, like kMixed
+    case kMixed:
+        break;
+    }
+    NextHop next_inherited = inherited;
+    if (n->has_route) {
+        next_inherited = n->next_hop;
+        if (n->next_hop != inherited) out.push_back({at, n->next_hop});
+    }
+    emit(n->child[0].get(), at.child(0), next_inherited, out);
+    emit(n->child[1].get(), at.child(1), next_inherited, out);
+}
+
+}  // namespace
+
+template <class Addr>
+RouteList<Addr> aggregate_routes(const RadixTrie<Addr>& input)
+{
+    RouteList<Addr> out;
+    compute(input.root());
+    emit(input.root(), typename RadixTrie<Addr>::prefix_type{}, kNoRoute, out);
+    return out;
+}
+
+template RouteList<netbase::Ipv4Addr> aggregate_routes(const RadixTrie<netbase::Ipv4Addr>&);
+template RouteList<netbase::Ipv6Addr> aggregate_routes(const RadixTrie<netbase::Ipv6Addr>&);
+
+}  // namespace rib

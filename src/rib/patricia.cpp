@@ -1,0 +1,8 @@
+#include "rib/patricia.hpp"
+
+namespace rib {
+
+template class PatriciaTrie<netbase::Ipv4Addr>;
+template class PatriciaTrie<netbase::Ipv6Addr>;
+
+}  // namespace rib

@@ -1,0 +1,259 @@
+// rib/patricia.hpp — path-compressed binary trie (Patricia, Morrison 1968).
+//
+// The paper names "radix or Patricia trie" as the RIB structures FIBs are
+// compiled from (§3), and its related work cites Sklower's BSD routing table
+// as the classic software LPM. Where the plain radix trie spends one node
+// per bit, Patricia collapses non-branching chains into one node per
+// *decision*, which roughly halves the node count and the pointer chases on
+// real tables — still tens of memory accesses per lookup (§2), which is the
+// whole motivation for the compressed multiway structures this repository
+// is about.
+//
+// The node layout here is the "compressed radix tree" formulation: each
+// node owns a canonical prefix; a node's children extend its prefix by at
+// least one bit; routes sit on the nodes whose prefix equals the route's.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+
+#include "netbase/bits.hpp"
+#include "netbase/prefix.hpp"
+#include "rib/route.hpp"
+
+namespace rib {
+
+/// Path-compressed LPM trie over Addr (netbase::Ipv4Addr or Ipv6Addr).
+template <class Addr>
+class PatriciaTrie {
+public:
+    using value_type = typename Addr::value_type;
+    using prefix_type = netbase::Prefix<Addr>;
+    static constexpr unsigned kWidth = Addr::kWidth;
+
+    struct Node {
+        prefix_type prefix;
+        std::unique_ptr<Node> child[2];
+        NextHop next_hop = kNoRoute;
+        bool has_route = false;
+    };
+
+    PatriciaTrie() = default;
+    PatriciaTrie(PatriciaTrie&&) noexcept = default;
+    PatriciaTrie& operator=(PatriciaTrie&&) noexcept = default;
+
+    /// Inserts `prefix -> next_hop`, replacing any existing route.
+    void insert(const prefix_type& prefix, NextHop next_hop);
+
+    /// Removes the route at exactly `prefix`. Returns false if absent.
+    bool erase(const prefix_type& prefix);
+
+    /// Longest-prefix-match lookup; kNoRoute on miss.
+    [[nodiscard]] NextHop lookup(Addr addr) const noexcept
+    {
+        NextHop best = kNoRoute;
+        const Node* n = root_.get();
+        while (n != nullptr) {
+            if (!n->prefix.contains(addr)) break;
+            if (n->has_route) best = n->next_hop;
+            if (n->prefix.length() == kWidth) break;
+            n = n->child[netbase::bit_at(addr.value(), n->prefix.length())].get();
+        }
+        return best;
+    }
+
+    /// Exact-match lookup; kNoRoute if `prefix` carries no route.
+    [[nodiscard]] NextHop find(const prefix_type& prefix) const noexcept;
+
+    [[nodiscard]] std::size_t route_count() const noexcept { return routes_; }
+    [[nodiscard]] std::size_t node_count() const noexcept { return nodes_; }
+    [[nodiscard]] std::size_t memory_bytes() const noexcept { return nodes_ * sizeof(Node); }
+    [[nodiscard]] const Node* root() const noexcept { return root_.get(); }
+
+    /// Visits every route as (prefix, next_hop), in trie order.
+    template <class F>
+    void for_each_route(F&& fn) const
+    {
+        walk(root_.get(), fn);
+    }
+
+    /// Bulk-load convenience.
+    void insert_all(const RouteList<Addr>& list)
+    {
+        for (const auto& r : list) insert(r.prefix, r.next_hop);
+    }
+
+    /// Structural invariant check (used by the tests): children strictly
+    /// extend their parent's prefix, all leaves carry routes, and no
+    /// route-less node has fewer than two children (full path compression).
+    [[nodiscard]] bool invariants_hold() const noexcept
+    {
+        return check(root_.get(), nullptr);
+    }
+
+private:
+    std::unique_ptr<Node> make_node(const prefix_type& p) const
+    {
+        auto n = std::make_unique<Node>();
+        n->prefix = p;
+        return n;
+    }
+
+    void insert_at(std::unique_ptr<Node>& slot, const prefix_type& prefix, NextHop next_hop);
+    bool erase_at(std::unique_ptr<Node>& slot, const prefix_type& prefix);
+    void compress(std::unique_ptr<Node>& slot);
+
+    template <class F>
+    static void walk(const Node* n, F& fn)
+    {
+        if (n == nullptr) return;
+        if (n->has_route) fn(n->prefix, n->next_hop);
+        walk(n->child[0].get(), fn);
+        walk(n->child[1].get(), fn);
+    }
+
+    static bool check(const Node* n, const Node* parent) noexcept
+    {
+        if (n == nullptr) return true;
+        if (parent != nullptr) {
+            if (n->prefix.length() <= parent->prefix.length()) return false;
+            if (!parent->prefix.contains(n->prefix)) return false;
+        }
+        const bool leaf = !n->child[0] && !n->child[1];
+        if (leaf && !n->has_route) return false;
+        const bool single_child = (n->child[0] == nullptr) != (n->child[1] == nullptr);
+        if (single_child && !n->has_route && parent != nullptr) return false;
+        return check(n->child[0].get(), n) && check(n->child[1].get(), n);
+    }
+
+    std::unique_ptr<Node> root_;
+    std::size_t routes_ = 0;
+    std::size_t nodes_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+
+template <class Addr>
+void PatriciaTrie<Addr>::insert(const prefix_type& prefix, NextHop next_hop)
+{
+    assert(next_hop != kNoRoute);
+    insert_at(root_, prefix, next_hop);
+}
+
+template <class Addr>
+void PatriciaTrie<Addr>::insert_at(std::unique_ptr<Node>& slot, const prefix_type& prefix,
+                                   NextHop next_hop)
+{
+    if (!slot) {
+        slot = make_node(prefix);
+        ++nodes_;
+        slot->has_route = true;
+        slot->next_hop = next_hop;
+        ++routes_;
+        return;
+    }
+    Node& n = *slot;
+    const unsigned common = netbase::common_prefix_length(
+        n.prefix.bits(), prefix.bits(),
+        std::min(n.prefix.length(), prefix.length()));
+
+    if (common < n.prefix.length()) {
+        // Diverges inside this node's edge: split at `common`.
+        const prefix_type mid{prefix.address(), common};
+        auto fresh = make_node(mid);
+        ++nodes_;
+        const unsigned old_bit = netbase::bit_at(n.prefix.bits(), common);
+        fresh->child[old_bit] = std::move(slot);
+        if (common == prefix.length()) {
+            // The new route lives exactly at the split point.
+            fresh->has_route = true;
+            fresh->next_hop = next_hop;
+            ++routes_;
+        } else {
+            auto leaf = make_node(prefix);
+            ++nodes_;
+            leaf->has_route = true;
+            leaf->next_hop = next_hop;
+            ++routes_;
+            fresh->child[1 - old_bit] = std::move(leaf);
+        }
+        slot = std::move(fresh);
+        return;
+    }
+    // n.prefix is a prefix of `prefix`.
+    if (prefix.length() == n.prefix.length()) {
+        if (!n.has_route) ++routes_;
+        n.has_route = true;
+        n.next_hop = next_hop;
+        return;
+    }
+    insert_at(n.child[netbase::bit_at(prefix.bits(), n.prefix.length())], prefix, next_hop);
+}
+
+template <class Addr>
+bool PatriciaTrie<Addr>::erase(const prefix_type& prefix)
+{
+    return erase_at(root_, prefix);
+}
+
+template <class Addr>
+bool PatriciaTrie<Addr>::erase_at(std::unique_ptr<Node>& slot, const prefix_type& prefix)
+{
+    if (!slot) return false;
+    Node& n = *slot;
+    if (n.prefix.length() > prefix.length() || !n.prefix.contains(prefix)) return false;
+    if (n.prefix.length() == prefix.length()) {
+        if (n.prefix != prefix || !n.has_route) return false;
+        n.has_route = false;
+        n.next_hop = kNoRoute;
+        --routes_;
+        compress(slot);
+        return true;
+    }
+    const unsigned b = netbase::bit_at(prefix.bits(), n.prefix.length());
+    if (!erase_at(n.child[b], prefix)) return false;
+    compress(slot);
+    return true;
+}
+
+template <class Addr>
+void PatriciaTrie<Addr>::compress(std::unique_ptr<Node>& slot)
+{
+    if (!slot || slot->has_route) return;
+    Node& n = *slot;
+    const bool has0 = n.child[0] != nullptr;
+    const bool has1 = n.child[1] != nullptr;
+    if (!has0 && !has1) {
+        slot.reset();
+        --nodes_;
+        return;
+    }
+    if (has0 != has1) {
+        // Route-less single-child node: splice the child up (its prefix
+        // already encodes the full path).
+        slot = std::move(n.child[has0 ? 0 : 1]);
+        --nodes_;
+    }
+}
+
+template <class Addr>
+NextHop PatriciaTrie<Addr>::find(const prefix_type& prefix) const noexcept
+{
+    const Node* n = root_.get();
+    while (n != nullptr) {
+        if (n->prefix.length() > prefix.length() || !n->prefix.contains(prefix)) return kNoRoute;
+        if (n->prefix.length() == prefix.length())
+            return (n->prefix == prefix && n->has_route) ? n->next_hop : kNoRoute;
+        n = n->child[netbase::bit_at(prefix.bits(), n->prefix.length())].get();
+    }
+    return kNoRoute;
+}
+
+using PatriciaTrie4 = PatriciaTrie<netbase::Ipv4Addr>;
+using PatriciaTrie6 = PatriciaTrie<netbase::Ipv6Addr>;
+
+extern template class PatriciaTrie<netbase::Ipv4Addr>;
+extern template class PatriciaTrie<netbase::Ipv6Addr>;
+
+}  // namespace rib

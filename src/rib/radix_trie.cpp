@@ -1,0 +1,8 @@
+#include "rib/radix_trie.hpp"
+
+namespace rib {
+
+template class RadixTrie<netbase::Ipv4Addr>;
+template class RadixTrie<netbase::Ipv6Addr>;
+
+}  // namespace rib

@@ -1,0 +1,38 @@
+// rib/route.hpp — routes and next hops.
+//
+// Throughout the library a "next hop" is a 16-bit FIB index, exactly the leaf
+// width the paper uses ("the size of a leaf node is 16 bits, hence the number
+// of FIB entries is limited to 2^16", §5). Index 0 is reserved to mean "no
+// route": a lookup miss returns kNoRoute, and tables that want a default
+// route install 0.0.0.0/0 explicitly.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netbase/prefix.hpp"
+
+namespace rib {
+
+/// FIB index / next-hop identifier. 16 bits as in the paper's leaf nodes.
+using NextHop = std::uint16_t;
+
+/// Sentinel next hop returned on lookup miss. Never a valid route target.
+inline constexpr NextHop kNoRoute = 0;
+
+/// One routing-table entry: a prefix and the FIB index of its next hop.
+template <class Addr>
+struct Route {
+    netbase::Prefix<Addr> prefix;
+    NextHop next_hop = kNoRoute;
+
+    friend constexpr bool operator==(const Route&, const Route&) = default;
+};
+
+using Route4 = Route<netbase::Ipv4Addr>;
+using Route6 = Route<netbase::Ipv6Addr>;
+
+template <class Addr>
+using RouteList = std::vector<Route<Addr>>;
+
+}  // namespace rib

@@ -1,0 +1,26 @@
+#include "rib/table_stats.hpp"
+
+#include <unordered_set>
+
+namespace rib {
+
+template <class Addr>
+TableStats<Addr> compute_stats(const RouteList<Addr>& routes)
+{
+    TableStats<Addr> s;
+    std::unordered_set<NextHop> hops;
+    for (const auto& r : routes) {
+        ++s.prefix_count;
+        const auto len = r.prefix.length();
+        ++s.length_histogram[len];
+        if (len > s.max_length) s.max_length = len;
+        hops.insert(r.next_hop);
+    }
+    s.distinct_next_hops = hops.size();
+    return s;
+}
+
+template TableStats<netbase::Ipv4Addr> compute_stats(const RouteList<netbase::Ipv4Addr>&);
+template TableStats<netbase::Ipv6Addr> compute_stats(const RouteList<netbase::Ipv6Addr>&);
+
+}  // namespace rib

@@ -1,0 +1,44 @@
+// rib/table_stats.hpp — descriptive statistics of a routing table.
+//
+// Used to print Table 1-style dataset summaries (# of prefixes, # of distinct
+// next hops) and the prefix-length histogram the generators are calibrated
+// against (§4.1: "most prefixes in the real datasets are distributed in the
+// range of prefix length from /11 through /24").
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstddef>
+
+#include "rib/route.hpp"
+
+namespace rib {
+
+/// Summary statistics over a route list.
+template <class Addr>
+struct TableStats {
+    std::size_t prefix_count = 0;
+    std::size_t distinct_next_hops = 0;
+    /// histogram[l] = number of routes with prefix length l.
+    std::array<std::size_t, Addr::kWidth + 1> length_histogram{};
+    unsigned max_length = 0;
+
+    /// Number of routes with length strictly greater than `len`.
+    [[nodiscard]] std::size_t longer_than(unsigned len) const noexcept
+    {
+        std::size_t n = 0;
+        for (unsigned l = len + 1; l <= Addr::kWidth; ++l) n += length_histogram[l];
+        return n;
+    }
+};
+
+/// Computes stats over `routes`.
+template <class Addr>
+[[nodiscard]] TableStats<Addr> compute_stats(const RouteList<Addr>& routes);
+
+extern template TableStats<netbase::Ipv4Addr> compute_stats(
+    const RouteList<netbase::Ipv4Addr>&);
+extern template TableStats<netbase::Ipv6Addr> compute_stats(
+    const RouteList<netbase::Ipv6Addr>&);
+
+}  // namespace rib

@@ -1,0 +1,162 @@
+// router/router.hpp — the integration layer a software router actually uses.
+//
+// The paper is explicit that Poptrie resolves a *FIB index*, "the routes are
+// preserved in a separate routing table (RIB)", and the index identifies the
+// adjacency used to forward (§3). This class wires the pieces together the
+// way a control plane would:
+//
+//   * an adjacency table mapping FIB indices to (gateway, interface) pairs,
+//     deduplicated and reference-counted so the 16-bit index space (§5's
+//     structural limit) is recycled;
+//   * the RIB (binary radix trie) holding the authoritative route set;
+//   * the Poptrie FIB, kept in sync with §3.5's lock-free incremental
+//     updates, so forwarding threads are never blocked by route churn.
+//
+// Forwarding threads call resolve()/lookup_index(); a single control thread
+// calls add_route()/remove_route(). For concurrent operation, forwarding
+// threads register once via register_reader() and hold an EbrDomain::Guard
+// around lookup batches.
+#pragma once
+
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "poptrie/poptrie.hpp"
+#include "rib/radix_trie.hpp"
+#include "rib/route.hpp"
+
+namespace router {
+
+/// Forwarding target: next-hop gateway address and outgoing interface.
+template <class Addr>
+struct Adjacency {
+    Addr gateway{};
+    std::string interface;
+
+    friend bool operator==(const Adjacency&, const Adjacency&) = default;
+};
+
+/// Thrown when the 16-bit adjacency space is exhausted (§5: "the number of
+/// FIB entries is limited to 2^16").
+class AdjacencyTableFull : public std::runtime_error {
+public:
+    AdjacencyTableFull() : std::runtime_error("adjacency table full (2^16 - 1 entries)") {}
+};
+
+/// RIB + FIB + adjacency table, for one address family.
+template <class Addr>
+class Router {
+public:
+    using prefix_type = netbase::Prefix<Addr>;
+    using adjacency_type = Adjacency<Addr>;
+
+    explicit Router(const poptrie::Config& cfg = {}) : fib_(cfg)
+    {
+        // Full 16-bit index space reserved up front so adjacency element
+        // addresses stay stable for concurrent resolve() readers even as
+        // new adjacencies are interned.
+        adjacencies_.reserve(0x10000);
+        refcounts_.reserve(0x10000);
+        adjacencies_.resize(1);  // index 0 = kNoRoute, never a real adjacency
+        refcounts_.resize(1);
+    }
+
+    /// Installs or replaces the route for `prefix`. Allocates (or reuses) a
+    /// FIB index for the adjacency and patches the FIB incrementally.
+    void add_route(const prefix_type& prefix, const adjacency_type& adjacency)
+    {
+        const rib::NextHop index = intern(adjacency);
+        const rib::NextHop previous = rib_.find(prefix);
+        fib_.apply(rib_, prefix, index);
+        if (previous != rib::kNoRoute) release(previous);
+    }
+
+    /// Withdraws the route at `prefix`. Returns false if absent.
+    bool remove_route(const prefix_type& prefix)
+    {
+        const rib::NextHop previous = rib_.find(prefix);
+        if (previous == rib::kNoRoute) return false;
+        fib_.apply(rib_, prefix, rib::kNoRoute);
+        release(previous);
+        return true;
+    }
+
+    /// Data-plane resolution: the adjacency to forward to, or nullptr.
+    [[nodiscard]] const adjacency_type* resolve(Addr addr) const noexcept
+    {
+        const rib::NextHop index = fib_.lookup(addr);
+        return index == rib::kNoRoute ? nullptr : &adjacencies_[index];
+    }
+
+    /// Raw FIB-index lookup (what the paper's benches measure).
+    [[nodiscard]] rib::NextHop lookup_index(Addr addr) const noexcept
+    {
+        return fib_.lookup(addr);
+    }
+
+    /// Registers a forwarding thread for lookups concurrent with updates.
+    [[nodiscard]] psync::EbrDomain::Reader register_reader() { return fib_.register_reader(); }
+
+    [[nodiscard]] std::size_t route_count() const noexcept { return rib_.route_count(); }
+    [[nodiscard]] std::size_t adjacency_count() const noexcept { return live_adjacencies_; }
+    [[nodiscard]] const poptrie::Poptrie<Addr>& fib() const noexcept { return fib_; }
+    [[nodiscard]] const rib::RadixTrie<Addr>& rib() const noexcept { return rib_; }
+
+    /// Runs deferred FIB-memory reclamation to completion (quiescent point).
+    void drain() { fib_.drain(); }
+
+private:
+    using Key = std::pair<typename Addr::value_type, std::string>;
+
+    rib::NextHop intern(const adjacency_type& adjacency)
+    {
+        const Key key{adjacency.gateway.value(), adjacency.interface};
+        if (const auto it = index_of_.find(key); it != index_of_.end()) {
+            ++refcounts_[it->second];
+            return it->second;
+        }
+        rib::NextHop index;
+        if (!free_indices_.empty()) {
+            index = free_indices_.back();
+            free_indices_.pop_back();
+        } else {
+            if (adjacencies_.size() > 0xFFFF) throw AdjacencyTableFull{};
+            index = static_cast<rib::NextHop>(adjacencies_.size());
+            adjacencies_.emplace_back();
+            refcounts_.push_back(0);
+        }
+        adjacencies_[index] = adjacency;
+        refcounts_[index] = 1;
+        index_of_.emplace(key, index);
+        ++live_adjacencies_;
+        return index;
+    }
+
+    void release(rib::NextHop index)
+    {
+        if (--refcounts_[index] != 0) return;
+        index_of_.erase(Key{adjacencies_[index].gateway.value(),
+                            adjacencies_[index].interface});
+        adjacencies_[index] = adjacency_type{};
+        free_indices_.push_back(index);
+        --live_adjacencies_;
+    }
+
+    rib::RadixTrie<Addr> rib_;
+    poptrie::Poptrie<Addr> fib_;
+    // Adjacency storage is append-only in capacity (indices stay stable for
+    // concurrent readers); freed slots are recycled through free_indices_.
+    std::vector<adjacency_type> adjacencies_;
+    std::vector<std::uint32_t> refcounts_;
+    std::vector<rib::NextHop> free_indices_;
+    std::map<Key, rib::NextHop> index_of_;
+    std::size_t live_adjacencies_ = 0;
+};
+
+using Router4 = Router<netbase::Ipv4Addr>;
+using Router6 = Router<netbase::Ipv6Addr>;
+
+}  // namespace router

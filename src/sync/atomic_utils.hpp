@@ -1,0 +1,40 @@
+// sync/atomic_utils.hpp — helpers for the single-writer / many-reader
+// publication protocol used by Poptrie's incremental update (§3.5).
+//
+// The updater builds replacement arrays privately, then publishes them with a
+// single release store into a live field (a direct-pointing slot or a node's
+// base0/base1). Readers pick the fields up with acquire loads. On x86 both
+// compile to plain MOVs, so the hot lookup path pays nothing; the helpers
+// exist to make the data race rules of the C++ memory model hold.
+#pragma once
+
+#include <atomic>
+
+namespace psync {
+
+/// Acquire-load of a field that a concurrent updater may publish into.
+/// The const_cast is confined here: std::atomic_ref requires a mutable
+/// reference even for loads, but the load itself does not modify `loc`.
+template <class T>
+[[nodiscard]] inline T load_acquire(const T& loc) noexcept
+{
+    return std::atomic_ref<T>(const_cast<T&>(loc)).load(std::memory_order_acquire);
+}
+
+/// Relaxed load for fields only read together with an acquire-loaded index
+/// (the data dependency orders the accesses on all supported targets, and the
+/// preceding acquire covers the formal model).
+template <class T>
+[[nodiscard]] inline T load_relaxed(const T& loc) noexcept
+{
+    return std::atomic_ref<T>(const_cast<T&>(loc)).load(std::memory_order_relaxed);
+}
+
+/// Release-store publication of a replacement index/value.
+template <class T>
+inline void store_release(T& loc, T value) noexcept
+{
+    std::atomic_ref<T>(loc).store(value, std::memory_order_release);
+}
+
+}  // namespace psync

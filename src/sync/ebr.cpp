@@ -1,0 +1,58 @@
+#include "sync/ebr.hpp"
+
+#include <limits>
+#include <thread>
+
+namespace psync {
+
+EbrDomain::Reader EbrDomain::register_reader()
+{
+    const std::lock_guard lock(reader_mutex_);
+    slots_.emplace_back(kQuiescent);
+    return Reader{this, &slots_.back()};
+}
+
+void EbrDomain::retire(std::function<void()> deleter)
+{
+    const auto e = epoch_.load(std::memory_order_relaxed);
+    limbo_.push_back({e, std::move(deleter)});
+}
+
+std::uint64_t EbrDomain::min_active_epoch() const noexcept
+{
+    // Pairs with the fence in Reader::enter(): after this fence, any reader
+    // that entered before we scan is visible to the scan.
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::uint64_t min_epoch = std::numeric_limits<std::uint64_t>::max();
+    const std::lock_guard lock(reader_mutex_);
+    for (const auto& slot : slots_) {
+        const auto e = slot.load(std::memory_order_acquire);
+        if (e != kQuiescent && e < min_epoch) min_epoch = e;
+    }
+    return min_epoch;
+}
+
+std::size_t EbrDomain::try_reclaim()
+{
+    // Advance first so that objects retired under the old epoch become
+    // reclaimable as soon as current readers (who saw at most the old epoch)
+    // leave.
+    epoch_.fetch_add(1, std::memory_order_acq_rel);
+    const auto min_active = min_active_epoch();
+    std::size_t freed = 0;
+    while (!limbo_.empty() && limbo_.front().epoch < min_active) {
+        limbo_.front().deleter();
+        limbo_.pop_front();
+        ++freed;
+    }
+    return freed;
+}
+
+void EbrDomain::drain()
+{
+    while (!limbo_.empty()) {
+        if (try_reclaim() == 0) std::this_thread::yield();
+    }
+}
+
+}  // namespace psync

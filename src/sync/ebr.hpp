@@ -1,0 +1,113 @@
+// sync/ebr.hpp — epoch-based memory reclamation.
+//
+// §3.5 of the paper requires that after an incremental FIB update "the unused
+// memory space, i.e., the replaced part, is freed after ensuring no lookup
+// procedure is referring to it". That is exactly a grace-period problem:
+// lookups are short read-side critical sections, the (single) updater is the
+// writer. This header implements classic epoch-based reclamation with
+// monotonically increasing epochs:
+//
+//   * each reader thread registers a slot; around every lookup batch it
+//     `enter()`s (publishing the epoch it is reading under) and `exit()`s;
+//   * the updater `retire()`s replaced node/leaf runs with a deleter, then
+//     periodically `try_reclaim()`s: anything retired at an epoch strictly
+//     below every active reader's epoch is freed.
+//
+// The read side is two relaxed/acq-rel atomic stores — cheap enough to wrap
+// around a batch of a few thousand lookups without measurable cost.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace psync {
+
+/// A reclamation domain: one per concurrently-updated structure (or shared).
+/// Reader registration is thread-safe; retire/try_reclaim must be called from
+/// a single writer thread (the paper assumes "single-threaded update
+/// operation").
+class EbrDomain {
+public:
+    /// A reader thread's registration. Obtain via register_reader(); the slot
+    /// stays valid for the domain's lifetime.
+    class Reader {
+    public:
+        /// Marks the start of a read-side critical section.
+        void enter() noexcept
+        {
+            // Publish the epoch we are entering under. The seq_cst fence
+            // pairs with the writer's fence in min_active_epoch() so the
+            // writer cannot miss us while freeing.
+            const auto e = domain_->epoch_.load(std::memory_order_relaxed);
+            slot_->store(e, std::memory_order_relaxed);
+            std::atomic_thread_fence(std::memory_order_seq_cst);
+        }
+
+        /// Marks the end of a read-side critical section.
+        void exit() noexcept { slot_->store(kQuiescent, std::memory_order_release); }
+
+    private:
+        friend class EbrDomain;
+        Reader(EbrDomain* d, std::atomic<std::uint64_t>* s) noexcept : domain_(d), slot_(s) {}
+        EbrDomain* domain_;
+        std::atomic<std::uint64_t>* slot_;
+    };
+
+    /// RAII wrapper around Reader::enter/exit.
+    class Guard {
+    public:
+        explicit Guard(Reader& r) noexcept : reader_(r) { reader_.enter(); }
+        ~Guard() { reader_.exit(); }
+        Guard(const Guard&) = delete;
+        Guard& operator=(const Guard&) = delete;
+
+    private:
+        Reader& reader_;
+    };
+
+    EbrDomain() = default;
+    EbrDomain(const EbrDomain&) = delete;
+    EbrDomain& operator=(const EbrDomain&) = delete;
+
+    /// Registers the calling thread as a reader. Thread-safe.
+    [[nodiscard]] Reader register_reader();
+
+    /// Queues `deleter` to run once no reader can still observe the retired
+    /// object. Writer-thread only. The object must already be unreachable
+    /// from the live structure.
+    void retire(std::function<void()> deleter);
+
+    /// Advances the epoch and frees every retired object whose grace period
+    /// has elapsed. Returns the number of deleters run. Writer-thread only.
+    std::size_t try_reclaim();
+
+    /// Blocks (spinning) until everything retired so far is freed. Writer-
+    /// thread only; used on shutdown and in tests.
+    void drain();
+
+    /// Objects currently awaiting reclamation (diagnostics).
+    [[nodiscard]] std::size_t pending() const noexcept { return limbo_.size(); }
+
+private:
+    static constexpr std::uint64_t kQuiescent = 0;
+
+    [[nodiscard]] std::uint64_t min_active_epoch() const noexcept;
+
+    struct Retired {
+        std::uint64_t epoch;
+        std::function<void()> deleter;
+    };
+
+    std::atomic<std::uint64_t> epoch_{1};  // 0 is reserved for "quiescent"
+    mutable std::mutex reader_mutex_;
+    // Deque of stable-address slots; readers keep pointers into it.
+    std::deque<std::atomic<std::uint64_t>> slots_;
+    std::deque<Retired> limbo_;  // writer-private, ordered by epoch
+};
+
+}  // namespace psync

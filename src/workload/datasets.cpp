@@ -1,0 +1,100 @@
+#include "workload/datasets.hpp"
+
+namespace workload {
+namespace {
+
+// Table 1's RouteViews rows: name, prefix count, distinct next hops.
+struct Row {
+    const char* name;
+    std::size_t prefixes;
+    unsigned next_hops;
+};
+constexpr Row kRouteViewsRows[] = {
+    {"RV-linx-p46", 518'231, 308},     {"RV-linx-p50", 512'476, 410},
+    {"RV-linx-p52", 514'590, 419},     {"RV-linx-p57", 514'070, 142},
+    {"RV-linx-p60", 508'700, 70},      {"RV-linx-p61", 512'476, 149},
+    {"RV-nwax-p1", 519'224, 60},       {"RV-nwax-p2", 514'627, 46},
+    {"RV-nwax-p5", 519'195, 49},       {"RV-paixisc-p12", 519'142, 68},
+    {"RV-paixisc-p14", 524'168, 49},   {"RV-saopaulo-p12", 516'536, 510},
+    {"RV-saopaulo-p13", 517'914, 504}, {"RV-saopaulo-p16", 521'405, 528},
+    {"RV-saopaulo-p18", 521'874, 522}, {"RV-saopaulo-p2", 523'092, 530},
+    {"RV-saopaulo-p20", 523'574, 470}, {"RV-saopaulo-p23", 523'013, 517},
+    {"RV-saopaulo-p25", 532'637, 523}, {"RV-saopaulo-p26", 516'408, 479},
+    {"RV-saopaulo-p8", 522'296, 477},  {"RV-saopaulo-p9", 515'639, 507},
+    {"RV-singapore-p3", 518'620, 136}, {"RV-singapore-p5", 516'557, 129},
+    {"RV-sydney-p0", 520'580, 122},    {"RV-sydney-p1", 515'809, 125},
+    {"RV-sydney-p3", 517'511, 115},    {"RV-sydney-p4", 519'246, 86},
+    {"RV-sydney-p9", 523'400, 127},    {"RV-telxatl-p3", 511'161, 56},
+    {"RV-telxatl-p6", 519'537, 42},    {"RV-telxatl-p7", 513'339, 49},
+};
+
+}  // namespace
+
+std::vector<DatasetSpec> routeviews_specs()
+{
+    std::vector<DatasetSpec> specs;
+    std::uint64_t seed = 1001;
+    for (const auto& row : kRouteViewsRows) {
+        TableGenConfig cfg;
+        cfg.seed = seed++;
+        cfg.target_routes = row.prefixes;
+        cfg.next_hops = row.next_hops;
+        cfg.igp_routes = 0;
+        specs.push_back({row.name, cfg});
+    }
+    return specs;
+}
+
+DatasetSpec real_tier1_a()
+{
+    TableGenConfig cfg;
+    cfg.seed = 2001;
+    cfg.target_routes = 516'000;  // + ~15.5k IGP ≈ Table 1's 531,489
+    cfg.next_hops = 13;
+    cfg.igp_routes = 15'489;
+    cfg.igp_next_hops = 13;
+    return {"REAL-Tier1-A", cfg};
+}
+
+DatasetSpec real_tier1_b()
+{
+    TableGenConfig cfg;
+    cfg.seed = 2002;
+    cfg.target_routes = 510'000;  // ≈ Table 1's 524,170 with IGP extras
+    cfg.next_hops = 9;
+    cfg.igp_routes = 14'170;
+    cfg.igp_next_hops = 9;
+    return {"REAL-Tier1-B", cfg};
+}
+
+DatasetSpec real_renet()
+{
+    TableGenConfig cfg;
+    cfg.seed = 2003;
+    cfg.target_routes = 508'000;  // ≈ Table 1's 516,100 with IGP extras
+    cfg.next_hops = 32;
+    cfg.igp_routes = 8'100;
+    cfg.igp_next_hops = 32;
+    return {"REAL-RENET", cfg};
+}
+
+std::vector<DatasetSpec> all_ipv4_specs()
+{
+    std::vector<DatasetSpec> specs{real_tier1_a(), real_tier1_b(), real_renet()};
+    auto rv = routeviews_specs();
+    specs.insert(specs.end(), rv.begin(), rv.end());
+    return specs;
+}
+
+rib::RouteList<netbase::Ipv4Addr> make_table(const DatasetSpec& spec)
+{
+    return generate_table(spec.config);
+}
+
+rib::RouteList<netbase::Ipv4Addr> make_syn(const rib::RouteList<netbase::Ipv4Addr>& base,
+                                           int level, std::size_t target)
+{
+    return syn_expand(base, level, target);
+}
+
+}  // namespace workload

@@ -1,0 +1,49 @@
+// workload/datasets.hpp — the Table 1 dataset registry.
+//
+// The paper evaluates 35 IPv4 RIBs: 32 RouteViews peers ("RV-<archive>-p<n>")
+// and three ISP tables (REAL-Tier1-A/B, REAL-RENET), plus SYN1/SYN2
+// expansions of the Tier1 tables and one IPv6 table. This registry exposes
+// the same inventory over the synthetic generators, one deterministic seed
+// per dataset, with next-hop counts matched to Table 1, so the benches can
+// print recognizable rows (Fig. 9 iterates these names).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "rib/route.hpp"
+#include "workload/tablegen.hpp"
+
+namespace workload {
+
+/// One dataset of the paper's Table 1.
+struct DatasetSpec {
+    std::string name;
+    TableGenConfig config;
+};
+
+/// The 32 RouteViews-like specs, in Table 1 order.
+[[nodiscard]] std::vector<DatasetSpec> routeviews_specs();
+
+/// REAL-Tier1-A-like (531k routes, 13 next hops, IGP routes included).
+[[nodiscard]] DatasetSpec real_tier1_a();
+
+/// REAL-Tier1-B-like (524k routes, 9 next hops, IGP routes included).
+[[nodiscard]] DatasetSpec real_tier1_b();
+
+/// REAL-RENET-like (516k routes, 32 next hops, research-network flavour).
+[[nodiscard]] DatasetSpec real_renet();
+
+/// All 35 IPv4 datasets (RouteViews + the three REAL tables), Fig. 9's x-axis.
+[[nodiscard]] std::vector<DatasetSpec> all_ipv4_specs();
+
+/// Materializes a spec.
+[[nodiscard]] rib::RouteList<netbase::Ipv4Addr> make_table(const DatasetSpec& spec);
+
+/// SYN1/SYN2 of a materialized table, sized to the paper's Table 5 counts
+/// when `paper_size` is true (764,847 / 885,645 for Tier1-A; pass the
+/// matching base table).
+[[nodiscard]] rib::RouteList<netbase::Ipv4Addr> make_syn(
+    const rib::RouteList<netbase::Ipv4Addr>& base, int level, std::size_t target);
+
+}  // namespace workload

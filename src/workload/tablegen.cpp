@@ -1,0 +1,338 @@
+#include "workload/tablegen.hpp"
+
+#include <algorithm>
+#include <array>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "workload/xorshift.hpp"
+
+namespace workload {
+namespace {
+
+using netbase::Ipv4Addr;
+using netbase::Ipv6Addr;
+using netbase::Prefix4;
+using netbase::Prefix6;
+using rib::NextHop;
+
+// Empirical share of each prefix length in a 2014-era full BGP table
+// (lengths 8..24; anything shorter is injected explicitly below).
+struct LengthShare {
+    unsigned length;
+    double share;
+};
+constexpr std::array<LengthShare, 17> kBgpLengthShares{{
+    {8, 0.0004},
+    {9, 0.0002},
+    {10, 0.0006},
+    {11, 0.0012},
+    {12, 0.0011},
+    {13, 0.0020},
+    {14, 0.0070},
+    {15, 0.0070},
+    {16, 0.0250},
+    {17, 0.0150},
+    {18, 0.0230},
+    {19, 0.0470},
+    {20, 0.0700},
+    {21, 0.0730},
+    {22, 0.1120},
+    {23, 0.0900},
+    {24, 0.5255},
+}};
+
+// IGP route length mix (REAL-* tables): point-to-point /30-/31 links,
+// /32 loopbacks, a sprinkle of /25-/29 subnets.
+constexpr std::array<LengthShare, 8> kIgpLengthShares{{
+    {25, 0.04},
+    {26, 0.06},
+    {27, 0.07},
+    {28, 0.08},
+    {29, 0.10},
+    {30, 0.25},
+    {31, 0.05},
+    {32, 0.35},
+}};
+
+// Picks a length from a share table.
+template <std::size_t N>
+unsigned pick_length(Xorshift128& rng, const std::array<LengthShare, N>& shares)
+{
+    double u = rng.next_double();
+    for (const auto& s : shares) {
+        if (u < s.share) return s.length;
+        u -= s.share;
+    }
+    return shares.back().length;
+}
+
+// Skewed next-hop pick: low indices much more popular, as on real routers
+// (a handful of transit hops carry most routes).
+NextHop pick_next_hop(Xorshift128& rng, unsigned n)
+{
+    const double u = rng.next_double();
+    const auto idx = static_cast<unsigned>(u * u * n);
+    return static_cast<NextHop>(1 + std::min(idx, n - 1));
+}
+
+// Spatially-correlated next hop: prefixes in the same /18 neighbourhood
+// usually come from the same origin/peer and share a next hop on a real
+// router. This correlation is what keeps the number of distinct resolution
+// runs — and hence DXR's range count — far below the route count; without
+// it D18R would blow its 2^19-range limit on ordinary tables, which it does
+// not do in the paper.
+NextHop pick_next_hop_spatial(Xorshift128& rng, std::uint32_t addr, unsigned n,
+                              std::uint64_t seed)
+{
+    constexpr double kIndependent = 0.15;  // share of "deviant" prefixes
+    if (rng.next_double() < kIndependent) return pick_next_hop(rng, n);
+    const std::uint64_t h = mix64((addr >> 18) ^ (seed * 0xA24BAED4963EE407ull));
+    const double u = static_cast<double>(h & 0xFFFFFF) * 0x1.0p-24;
+    const auto idx = static_cast<unsigned>(u * u * n);
+    return static_cast<NextHop>(1 + std::min(idx, n - 1));
+}
+
+std::uint64_t prefix_key(const Prefix4& p)
+{
+    return (static_cast<std::uint64_t>(p.bits()) << 6) | p.length();
+}
+
+}  // namespace
+
+rib::RouteList<Ipv4Addr> generate_table(const TableGenConfig& cfg)
+{
+    Xorshift128 rng(cfg.seed);
+
+    // Allocated space: `region_slash8` /8 blocks drawn from 1.0.0.0–223.0.0.0
+    // (unicast), deterministically per seed.
+    std::vector<std::uint8_t> regions;
+    {
+        std::vector<std::uint8_t> pool;
+        for (unsigned b = 1; b < 224; ++b) pool.push_back(static_cast<std::uint8_t>(b));
+        for (unsigned i = 0; i < cfg.region_slash8 && !pool.empty(); ++i) {
+            const auto j = rng.next_below(static_cast<std::uint32_t>(pool.size()));
+            regions.push_back(pool[j]);
+            pool.erase(pool.begin() + j);
+        }
+        std::sort(regions.begin(), regions.end());
+    }
+    const auto random_region_base = [&]() -> std::uint32_t {
+        const auto r = regions[rng.next_below(static_cast<std::uint32_t>(regions.size()))];
+        return static_cast<std::uint32_t>(r) << 24;
+    };
+    // A /16 block may hold routes longer than /16 iff it hashes into the
+    // deep pool. This caps SAIL's level-24 chunk count (see header).
+    const auto deep_eligible = [&](std::uint32_t addr) {
+        const std::uint32_t block = addr >> 16;
+        return (mix64(block ^ (cfg.seed * 0x517CC1B727220A95ull)) % 10'000) <
+               static_cast<std::uint64_t>(cfg.deep_pool_fraction * 10'000);
+    };
+
+    std::unordered_set<std::uint64_t> seen;
+    rib::RouteList<Ipv4Addr> routes;
+    routes.reserve(cfg.target_routes + cfg.igp_routes + 8);
+
+    // A few short anchor prefixes (the global table's handful of /8s) plus a
+    // default route, so misses are rare and shorter-than-/8 matches exist.
+    routes.push_back({Prefix4{Ipv4Addr{0}, 0}, pick_next_hop(rng, cfg.next_hops)});
+    seen.insert(prefix_key(routes.back().prefix));
+    for (int i = 0; i < 6; ++i) {
+        const Prefix4 p{Ipv4Addr{random_region_base()}, 8};
+        if (seen.insert(prefix_key(p)).second)
+            routes.push_back({p, pick_next_hop(rng, cfg.next_hops)});
+    }
+
+    std::size_t failures = 0;
+    while (routes.size() < cfg.target_routes && failures < cfg.target_routes * 4) {
+        const unsigned len = pick_length(rng, kBgpLengthShares);
+        std::uint32_t addr = 0;
+        // Deaggregation: nest a fraction of prefixes inside earlier shorter
+        // ones so that deciding a short match often requires a deep descent
+        // (the paper's binary-radix-depth > prefix-length effect, Fig. 7).
+        bool placed = false;
+        if (rng.next_double() < cfg.nest_fraction && routes.size() > 64) {
+            const auto& parent =
+                routes[rng.next_below(static_cast<std::uint32_t>(routes.size()))];
+            if (parent.prefix.length() > 0 && parent.prefix.length() < len) {
+                addr = parent.prefix.bits() |
+                       (rng.next() & ~netbase::high_mask<std::uint32_t>(
+                                         parent.prefix.length()));
+                placed = true;
+            }
+        }
+        if (!placed) addr = random_region_base() | (rng.next() & 0x00FF'FFFFu);
+        // Lengths /15+ respect the deep pool: /15 and /16 allocations sit
+        // where deeper routes already live, so SYN1's splits of them (§4.1)
+        // rarely open new /16 blocks — that is what lets SAIL compile SYN1
+        // but not SYN2 (whose /14 splits land outside the pool), as in §4.8.
+        if (len > 14 && !deep_eligible(addr)) {
+            ++failures;
+            continue;
+        }
+        const Prefix4 p{Ipv4Addr{addr}, len};
+        if (!seen.insert(prefix_key(p)).second) {
+            ++failures;
+            continue;
+        }
+        routes.push_back({p, pick_next_hop_spatial(rng, addr, cfg.next_hops, cfg.seed)});
+    }
+
+    // IGP routes: long prefixes concentrated in "infrastructure" /16 blocks.
+    if (cfg.igp_routes > 0) {
+        std::vector<std::uint32_t> infra_blocks;
+        const std::size_t n_blocks = std::max<std::size_t>(64, cfg.igp_routes / 100);
+        for (std::size_t i = 0; i < n_blocks; ++i) {
+            std::uint32_t base;
+            do {
+                base = random_region_base() | (rng.next_below(256) << 16);
+            } while (!deep_eligible(base));
+            infra_blocks.push_back(base);
+        }
+        std::size_t igp_failures = 0;
+        std::size_t added = 0;
+        while (added < cfg.igp_routes && igp_failures < cfg.igp_routes * 8) {
+            const unsigned len = pick_length(rng, kIgpLengthShares);
+            const std::uint32_t block =
+                infra_blocks[rng.next_below(static_cast<std::uint32_t>(infra_blocks.size()))];
+            const std::uint32_t addr = block | (rng.next() & 0xFFFFu);
+            const Prefix4 p{Ipv4Addr{addr}, len};
+            if (!seen.insert(prefix_key(p)).second) {
+                ++igp_failures;
+                continue;
+            }
+            routes.push_back(
+                {p, pick_next_hop_spatial(rng, addr, cfg.igp_next_hops, cfg.seed ^ 0x1951)});
+            ++added;
+        }
+    }
+    return routes;
+}
+
+rib::RouteList<Ipv4Addr> syn_expand(const rib::RouteList<Ipv4Addr>& input, int level,
+                                    std::optional<std::size_t> target_routes,
+                                    std::uint64_t seed)
+{
+    // Distinct next hops in the input: split pieces are offset by multiples
+    // of this so they "did not overlap any existing next hops" (§4.1).
+    NextHop max_hop = 0;
+    for (const auto& r : input) max_hop = std::max(max_hop, r.next_hop);
+
+    // SYN1 split eligibility stops at /23 (pieces never exceed /24): the
+    // paper's SAIL implementation still compiled SYN1 (Table 5), which
+    // bounds its 15-bit level-32 chunk ids below 2^15 — impossible had SYN1
+    // created hundreds of thousands of /25s. SYN2 applies the split to /24s
+    // as well; the resulting /25 flood is exactly what overflows SAIL's
+    // chunk ids and makes it "N/A" on SYN2 (§4.8). See EXPERIMENTS.md for
+    // the full reconstruction.
+    const auto extra_bits = [&](unsigned len) -> unsigned {
+        if (level == 1) {
+            if (len <= 16) return 2;
+            if (len <= 23) return 1;
+        } else {
+            if (len <= 16) return 3;
+            if (len <= 20) return 2;
+            if (len <= 24) return 1;
+        }
+        return 0;
+    };
+
+    // Expected full-split growth, used to derive the per-prefix split
+    // probability when a target count is requested.
+    double full_growth = 0;
+    for (const auto& r : input)
+        full_growth += static_cast<double>((1u << extra_bits(r.prefix.length())) - 1);
+    double split_probability = 1.0;
+    if (target_routes && *target_routes > input.size() && full_growth > 0)
+        split_probability =
+            std::min(1.0, static_cast<double>(*target_routes - input.size()) / full_growth);
+
+    std::unordered_map<std::uint64_t, NextHop> out;
+    out.reserve(input.size() * 2);
+    auto keep = [&](const Prefix4& p, NextHop nh) { out.emplace(prefix_key(p), nh); };
+
+    // Pass 1: routes that stay whole (>24, or deterministically unsampled)
+    // get priority on collisions, as they are "real" routes.
+    std::vector<bool> split(input.size());
+    for (std::size_t i = 0; i < input.size(); ++i) {
+        const auto bits = extra_bits(input[i].prefix.length());
+        const bool sampled =
+            bits > 0 && (mix64(prefix_key(input[i].prefix) ^ seed) % 10'000) <
+                            static_cast<std::uint64_t>(split_probability * 10'000);
+        split[i] = sampled;
+        if (!sampled) keep(input[i].prefix, input[i].next_hop);
+    }
+    // Pass 2: split pieces.
+    for (std::size_t i = 0; i < input.size(); ++i) {
+        if (!split[i]) continue;
+        const auto& r = input[i];
+        const unsigned bits = extra_bits(r.prefix.length());
+        const unsigned new_len = r.prefix.length() + bits;
+        for (unsigned piece = 0; piece < (1u << bits); ++piece) {
+            const std::uint32_t addr =
+                r.prefix.bits() |
+                (static_cast<std::uint32_t>(piece) << (32 - new_len));
+            keep(Prefix4{Ipv4Addr{addr}, new_len},
+                 static_cast<NextHop>(r.next_hop + piece * max_hop));
+        }
+    }
+
+    rib::RouteList<Ipv4Addr> result;
+    result.reserve(out.size());
+    for (const auto& [key, nh] : out)
+        result.push_back({Prefix4{Ipv4Addr{static_cast<std::uint32_t>(key >> 6)},
+                                  static_cast<unsigned>(key & 63)},
+                          nh});
+    return result;
+}
+
+rib::RouteList<Ipv6Addr> generate_table6(const TableGen6Config& cfg)
+{
+    Xorshift128 rng(cfg.seed);
+    // IPv6 global-table length mix: /32 allocations, /48 assignments, the
+    // rest spread across /29-/44 and a tail of /49-/64.
+    constexpr std::array<LengthShare, 10> shares{{
+        {29, 0.02},
+        {32, 0.28},
+        {36, 0.04},
+        {40, 0.07},
+        {44, 0.06},
+        {48, 0.42},
+        {52, 0.03},
+        {56, 0.04},
+        {60, 0.02},
+        {64, 0.02},
+    }};
+    std::unordered_set<std::uint64_t> seen;  // hash of (addr, len)
+    rib::RouteList<Ipv6Addr> routes;
+    routes.reserve(cfg.target_routes);
+
+    // 500 RIR-style /23 super-blocks inside 2000::/3.
+    std::vector<netbase::u128> blocks;
+    for (int i = 0; i < 500; ++i) {
+        const auto b = static_cast<netbase::u128>(0x2000u | (rng.next() & 0x1FFu));
+        blocks.push_back(b << 112);
+    }
+    std::size_t failures = 0;
+    while (routes.size() < cfg.target_routes && failures < cfg.target_routes * 4) {
+        const unsigned len = pick_length(rng, shares);
+        netbase::u128 addr =
+            blocks[rng.next_below(static_cast<std::uint32_t>(blocks.size()))];
+        addr |= static_cast<netbase::u128>(rng.next64()) << 41;  // bits 23..87-ish
+        addr |= rng.next64();
+        const Prefix6 p{Ipv6Addr{addr}, len};
+        const std::uint64_t key =
+            mix64(static_cast<std::uint64_t>(p.bits() >> 64) ^
+                  static_cast<std::uint64_t>(p.bits())) ^
+            (static_cast<std::uint64_t>(len) << 56);
+        if (!seen.insert(key).second) {
+            ++failures;
+            continue;
+        }
+        routes.push_back({p, pick_next_hop(rng, cfg.next_hops)});
+    }
+    return routes;
+}
+
+}  // namespace workload

@@ -1,0 +1,70 @@
+// workload/tablegen.hpp — synthetic routing tables.
+//
+// The paper evaluates on 35 real RIBs (RouteViews archives + three ISP
+// tables, Table 1) that are not redistributable; these generators are the
+// documented substitution (see DESIGN.md §2). They reproduce the properties
+// the evaluated structures are sensitive to:
+//   * the empirical BGP prefix-length mix (§4.1: "most of the prefixes are
+//     distributed from /11 through /24", with the /24 mode);
+//   * nesting/deaggregation, so that the binary radix depth often exceeds
+//     the matched prefix length (Fig. 7's hole punching);
+//   * small/large next-hop sets (Table 1's 9–530 distinct next hops);
+//   * IGP routes longer than /24 concentrated in infrastructure blocks
+//     (the REAL-* tables' distinguishing feature, §4.1/§4.7);
+//   * clustering of >16-bit routes into a bounded set of /16 blocks, which
+//     is what determines whether SAIL's 15-bit chunk ids suffice (§4.8).
+//
+// The SYN1/SYN2 expansion procedures are the paper's own (§4.1), applied
+// verbatim; an optional target count subsamples which prefixes split so the
+// table sizes of Table 5 can be matched exactly.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "rib/route.hpp"
+
+namespace workload {
+
+/// Knobs for the IPv4 table generator.
+struct TableGenConfig {
+    std::uint64_t seed = 1;
+    std::size_t target_routes = 520'000;  ///< BGP routes (before IGP extras)
+    unsigned next_hops = 100;             ///< distinct BGP next hops
+    std::size_t igp_routes = 0;           ///< extra /25–/32 routes (REAL-*)
+    unsigned igp_next_hops = 8;           ///< distinct next hops for IGP routes
+    unsigned region_slash8 = 147;         ///< allocated address-space size
+    /// Fraction of allocated /16 blocks eligible to contain >/16 routes;
+    /// tuned so SAIL compiles base tables and SYN1, but not SYN2 (§4.8).
+    double deep_pool_fraction = 0.82;
+    /// Probability that a prefix is nested inside an earlier, shorter one.
+    double nest_fraction = 0.35;
+};
+
+/// Generates a RouteViews/Tier1-like IPv4 table.
+[[nodiscard]] rib::RouteList<netbase::Ipv4Addr> generate_table(const TableGenConfig& cfg);
+
+/// §4.1 synthetic expansion. level = 1 → SYN1 (≤/16 into 4, /17–/23 into 2),
+/// level = 2 → SYN2 (≤/16 into 8, /17–/20 into 4, /21–/24 into 2). The i-th
+/// piece gets next hop n + i * (original distinct next-hop count), so split
+/// pieces never collide with existing hops, as in the paper. When
+/// `target_routes` is set, a deterministic subset of eligible prefixes is
+/// split so the result lands within ~0.5% of the target (the paper's SYN
+/// tables grew less than a full split implies; see EXPERIMENTS.md).
+[[nodiscard]] rib::RouteList<netbase::Ipv4Addr> syn_expand(
+    const rib::RouteList<netbase::Ipv4Addr>& input, int level,
+    std::optional<std::size_t> target_routes = std::nullopt,
+    std::uint64_t seed = 42);
+
+/// Knobs for the IPv6 table generator (§4.10: ~20k prefixes inside 2000::/3,
+/// lengths concentrated at /32 and /48).
+struct TableGen6Config {
+    std::uint64_t seed = 1;
+    std::size_t target_routes = 20'440;  ///< the paper's dataset size
+    unsigned next_hops = 13;
+};
+
+/// Generates an IPv6 table.
+[[nodiscard]] rib::RouteList<netbase::Ipv6Addr> generate_table6(const TableGen6Config& cfg);
+
+}  // namespace workload

@@ -1,0 +1,128 @@
+#include "workload/tableio.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+#include <string_view>
+
+#include "netbase/prefix.hpp"
+
+namespace workload {
+namespace {
+
+std::string_view trim(std::string_view s)
+{
+    while (!s.empty() && (s.front() == ' ' || s.front() == '\t')) s.remove_prefix(1);
+    while (!s.empty() && (s.back() == ' ' || s.back() == '\t' || s.back() == '\r'))
+        s.remove_suffix(1);
+    return s;
+}
+
+// Parses "<prefix-text> <hop>"; PrefixParser is parse_prefix4/parse_prefix6.
+template <class Prefix, class Parser>
+rib::RouteList<typename Prefix::addr_type> load_impl(std::istream& in, Parser&& parse_prefix)
+{
+    rib::RouteList<typename Prefix::addr_type> routes;
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        std::string_view body = trim(line);
+        if (const auto hash = body.find('#'); hash != std::string_view::npos)
+            body = trim(body.substr(0, hash));
+        if (body.empty()) continue;
+
+        const auto space = body.find_first_of(" \t");
+        if (space == std::string_view::npos)
+            throw TableIoError(line_no, "expected '<prefix> <next_hop>'");
+        const auto prefix_text = body.substr(0, space);
+        const auto hop_text = trim(body.substr(space + 1));
+
+        const auto prefix = parse_prefix(prefix_text);
+        if (!prefix)
+            throw TableIoError(line_no, "malformed prefix '" + std::string{prefix_text} + "'");
+        unsigned hop = 0;
+        const auto [p, ec] =
+            std::from_chars(hop_text.data(), hop_text.data() + hop_text.size(), hop);
+        if (ec != std::errc{} || p != hop_text.data() + hop_text.size())
+            throw TableIoError(line_no, "malformed next hop '" + std::string{hop_text} + "'");
+        if (hop == rib::kNoRoute || hop > 0xFFFF)
+            throw TableIoError(line_no, "next hop must be in [1, 65535]");
+        routes.push_back({*prefix, static_cast<rib::NextHop>(hop)});
+    }
+    return routes;
+}
+
+template <class Addr>
+void save_impl(std::ostream& out, const rib::RouteList<Addr>& routes)
+{
+    out << "# poptrie-repro table: " << routes.size() << " routes\n";
+    for (const auto& r : routes)
+        out << netbase::to_string(r.prefix) << ' ' << r.next_hop << '\n';
+}
+
+template <class Loader>
+auto load_file(const std::string& path, Loader&& loader)
+{
+    std::ifstream in(path);
+    if (!in) throw std::runtime_error("cannot open '" + path + "' for reading");
+    return loader(in);
+}
+
+template <class Addr>
+void save_file(const std::string& path, const rib::RouteList<Addr>& routes)
+{
+    std::ofstream out(path);
+    if (!out) throw std::runtime_error("cannot open '" + path + "' for writing");
+    save_impl(out, routes);
+    if (!out.flush()) throw std::runtime_error("write to '" + path + "' failed");
+}
+
+}  // namespace
+
+void save_table(std::ostream& out, const rib::RouteList<netbase::Ipv4Addr>& routes)
+{
+    save_impl(out, routes);
+}
+
+void save_table(std::ostream& out, const rib::RouteList<netbase::Ipv6Addr>& routes)
+{
+    save_impl(out, routes);
+}
+
+void save_table_file(const std::string& path, const rib::RouteList<netbase::Ipv4Addr>& routes)
+{
+    save_file(path, routes);
+}
+
+void save_table_file(const std::string& path, const rib::RouteList<netbase::Ipv6Addr>& routes)
+{
+    save_file(path, routes);
+}
+
+rib::RouteList<netbase::Ipv4Addr> load_table4(std::istream& in)
+{
+    return load_impl<netbase::Prefix4>(in, [](std::string_view t) {
+        return netbase::parse_prefix4(t);
+    });
+}
+
+rib::RouteList<netbase::Ipv6Addr> load_table6(std::istream& in)
+{
+    return load_impl<netbase::Prefix6>(in, [](std::string_view t) {
+        return netbase::parse_prefix6(t);
+    });
+}
+
+rib::RouteList<netbase::Ipv4Addr> load_table4_file(const std::string& path)
+{
+    return load_file(path, [](std::istream& in) { return load_table4(in); });
+}
+
+rib::RouteList<netbase::Ipv6Addr> load_table6_file(const std::string& path)
+{
+    return load_file(path, [](std::istream& in) { return load_table6(in); });
+}
+
+}  // namespace workload

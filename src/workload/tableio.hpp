@@ -1,0 +1,54 @@
+// workload/tableio.hpp — plain-text routing-table files.
+//
+// Format: one route per line, "<prefix> <next_hop>", with '#' comments and
+// blank lines ignored:
+//
+//     # RouteViews-like table, 531489 routes
+//     0.0.0.0/0 1
+//     10.0.0.0/8 2
+//     2001:db8::/32 7        (IPv6 files use IPv6 prefixes)
+//
+// This keeps generated datasets reproducible across runs and machines, and
+// lets users who *do* have real RIB dumps (RouteViews MRT exports convert to
+// this with one awk line) run every bench on them.
+#pragma once
+
+#include <iosfwd>
+#include <stdexcept>
+#include <string>
+
+#include "rib/route.hpp"
+
+namespace workload {
+
+/// Malformed table file: carries the 1-based line number and the reason.
+class TableIoError : public std::runtime_error {
+public:
+    TableIoError(std::size_t line, const std::string& reason)
+        : std::runtime_error("line " + std::to_string(line) + ": " + reason), line_(line)
+    {
+    }
+    [[nodiscard]] std::size_t line() const noexcept { return line_; }
+
+private:
+    std::size_t line_;
+};
+
+/// Writes `routes` to `out`, one per line, with a size header comment.
+void save_table(std::ostream& out, const rib::RouteList<netbase::Ipv4Addr>& routes);
+void save_table(std::ostream& out, const rib::RouteList<netbase::Ipv6Addr>& routes);
+
+/// Convenience: writes to a file. Throws std::runtime_error if unwritable.
+void save_table_file(const std::string& path, const rib::RouteList<netbase::Ipv4Addr>& routes);
+void save_table_file(const std::string& path, const rib::RouteList<netbase::Ipv6Addr>& routes);
+
+/// Parses a table from `in`. Throws TableIoError on malformed lines
+/// (bad prefix, bad/absent next hop, next hop 0 or > 65535, trailing junk).
+[[nodiscard]] rib::RouteList<netbase::Ipv4Addr> load_table4(std::istream& in);
+[[nodiscard]] rib::RouteList<netbase::Ipv6Addr> load_table6(std::istream& in);
+
+/// Convenience: reads from a file. Throws std::runtime_error if unreadable.
+[[nodiscard]] rib::RouteList<netbase::Ipv4Addr> load_table4_file(const std::string& path);
+[[nodiscard]] rib::RouteList<netbase::Ipv6Addr> load_table6_file(const std::string& path);
+
+}  // namespace workload

@@ -1,0 +1,86 @@
+#include "workload/trafficgen.hpp"
+
+#include <algorithm>
+
+#include "workload/xorshift.hpp"
+#include "workload/zipf.hpp"
+
+namespace workload {
+namespace {
+
+using rib::RadixTrie;
+using Rib4 = RadixTrie<netbase::Ipv4Addr>;
+
+// Draws an address whose binary radix depth is in (min_depth, max_depth]
+// by walking random routes: picks a random route of suitable length and
+// randomizes host bits; rejects until the depth predicate holds.
+std::uint32_t draw_with_depth(const Rib4& rib,
+                              const std::vector<rib::Route<netbase::Ipv4Addr>>& routes,
+                              Xorshift128& rng, unsigned min_depth)
+{
+    for (int attempt = 0; attempt < 256; ++attempt) {
+        const auto& r = routes[rng.next_below(static_cast<std::uint32_t>(routes.size()))];
+        if (min_depth > 0 && r.prefix.length() <= min_depth) continue;
+        const std::uint32_t host_mask =
+            r.prefix.length() >= 32
+                ? 0u
+                : ~netbase::high_mask<std::uint32_t>(r.prefix.length());
+        const std::uint32_t addr = r.prefix.bits() | (rng.next() & host_mask);
+        const auto detail = rib.lookup_detail(netbase::Ipv4Addr{addr});
+        if (detail.radix_depth > min_depth) return addr;
+    }
+    // Fallback: anything (keeps the generator total even on sparse tables).
+    return rng.next();
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> make_real_trace_like(const Rib4& rib, const TraceConfig& cfg)
+{
+    Xorshift128 rng(cfg.seed);
+    const auto routes = rib.routes();
+
+    // Destination pool with the target depth mix.
+    std::vector<std::uint32_t> pool;
+    pool.reserve(cfg.distinct_destinations);
+    const auto n24 = static_cast<std::size_t>(static_cast<double>(cfg.distinct_destinations) *
+                                              cfg.deep24_fraction);
+    const auto n18 = static_cast<std::size_t>(static_cast<double>(cfg.distinct_destinations) *
+                                              (cfg.deep18_fraction - cfg.deep24_fraction));
+    for (std::size_t i = 0; i < n24; ++i)
+        pool.push_back(draw_with_depth(rib, routes, rng, 24));
+    for (std::size_t i = 0; i < n18; ++i)
+        pool.push_back(draw_with_depth(rib, routes, rng, 18));
+    while (pool.size() < cfg.distinct_destinations) {
+        // Shallow traffic: uniform over the address space, so its depth
+        // profile mirrors the whole-space distribution (§4.7 compares the
+        // trace's depth mix against exactly that baseline). Tables built by
+        // the generators carry a default route, so these still resolve.
+        pool.push_back(rng.next());
+    }
+    // Shuffle so Zipf rank is uncorrelated with depth class.
+    for (std::size_t i = pool.size(); i > 1; --i)
+        std::swap(pool[i - 1], pool[rng.next_below(static_cast<std::uint32_t>(i))]);
+
+    // Replay: Zipf popularity + bursts of identical destinations (TCP flows).
+    const ZipfSampler zipf(pool.size(), cfg.zipf_alpha);
+    std::vector<std::uint32_t> trace;
+    trace.reserve(cfg.packets);
+    std::uint32_t current = pool[zipf.sample(rng)];
+    for (std::size_t i = 0; i < cfg.packets; ++i) {
+        trace.push_back(current);
+        if (rng.next_double() >= cfg.burst_continue) current = pool[zipf.sample(rng)];
+    }
+    return trace;
+}
+
+double deep_fraction(const Rib4& rib, const std::vector<std::uint32_t>& trace, unsigned depth)
+{
+    if (trace.empty()) return 0;
+    std::size_t deep = 0;
+    for (const auto a : trace)
+        if (rib.lookup_detail(netbase::Ipv4Addr{a}).radix_depth > depth) ++deep;
+    return static_cast<double>(deep) / static_cast<double>(trace.size());
+}
+
+}  // namespace workload

@@ -1,0 +1,48 @@
+// workload/trafficgen.hpp — the four §4.2 traffic patterns.
+//
+//   random     — xorshift addresses generated just-in-time by the bench loop
+//                (see Xorshift128); nothing to pregenerate here.
+//   sequential — 0.0.0.0 .. 255.255.255.255 in order; also just-in-time.
+//   repeated   — each random address issued 16 times.
+//   real-trace — the paper replays a MAWI trace (97M packets, 644,790
+//                distinct destinations, strong temporal locality, biased
+//                toward deep IGP space: 32.5% of packets deeper than /18 and
+//                21.8% deeper than /24 in the binary radix, §4.7). The trace
+//                is not redistributable, so make_real_trace_like() draws a
+//                destination set with those depth properties from the given
+//                table, gives it Zipf popularity, and adds bursty temporal
+//                locality; it is pre-materialized into an array exactly as
+//                the paper does ("we load all the destination IP addresses
+//                ... into an array in memory in advance").
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rib/radix_trie.hpp"
+#include "rib/route.hpp"
+
+namespace workload {
+
+/// Tunables for the synthetic real-trace.
+struct TraceConfig {
+    std::uint64_t seed = 7;
+    std::size_t distinct_destinations = 644'790;  ///< §4.7's trace
+    std::size_t packets = 4'000'000;              ///< scaled-down default
+    double zipf_alpha = 1.05;
+    double deep18_fraction = 0.325;  ///< packets with binary radix depth > 18
+    double deep24_fraction = 0.218;  ///< packets with binary radix depth > 24
+    double burst_continue = 0.55;    ///< P(next packet keeps the same dst)
+};
+
+/// Builds a destination-address stream with the §4.7 depth mix and locality.
+/// `rib` supplies the route set the depths are measured against.
+[[nodiscard]] std::vector<std::uint32_t> make_real_trace_like(
+    const rib::RadixTrie<netbase::Ipv4Addr>& rib, const TraceConfig& cfg = {});
+
+/// Fraction of `trace` whose binary radix depth exceeds `depth` (used to
+/// validate the trace generator against §4.7's numbers).
+[[nodiscard]] double deep_fraction(const rib::RadixTrie<netbase::Ipv4Addr>& rib,
+                                   const std::vector<std::uint32_t>& trace, unsigned depth);
+
+}  // namespace workload

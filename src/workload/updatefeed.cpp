@@ -1,0 +1,58 @@
+#include "workload/updatefeed.hpp"
+
+#include <unordered_map>
+
+#include "workload/xorshift.hpp"
+
+namespace workload {
+
+std::vector<UpdateEvent> make_update_feed(const rib::RouteList<netbase::Ipv4Addr>& table,
+                                          const UpdateFeedConfig& cfg)
+{
+    using netbase::Ipv4Addr;
+    using netbase::Prefix4;
+
+    Xorshift128 rng(cfg.seed);
+    // Working copy of the present prefixes so withdrawals stay consistent.
+    std::vector<Prefix4> present;
+    present.reserve(table.size());
+    for (const auto& r : table) present.push_back(r.prefix);
+
+    std::vector<UpdateEvent> feed;
+    feed.reserve(cfg.updates);
+    while (feed.size() < cfg.updates) {
+        const bool announce = rng.next_double() < cfg.announce_fraction;
+        if (announce) {
+            if (rng.next_double() < cfg.new_prefix_fraction) {
+                // New more-specific: take an existing prefix and lengthen it.
+                const auto& parent =
+                    present[rng.next_below(static_cast<std::uint32_t>(present.size()))];
+                const unsigned extra = 1 + rng.next_below(3);
+                const unsigned len = std::min(32u, parent.length() + extra);
+                if (len == parent.length()) continue;
+                const std::uint32_t addr =
+                    parent.bits() |
+                    (rng.next() & ~netbase::high_mask<std::uint32_t>(parent.length()));
+                const Prefix4 p{Ipv4Addr{addr}, len};
+                feed.push_back(
+                    {p, static_cast<rib::NextHop>(1 + rng.next_below(cfg.next_hops))});
+                present.push_back(p);
+            } else {
+                // Path change: re-announce an existing prefix, new next hop.
+                const auto& p =
+                    present[rng.next_below(static_cast<std::uint32_t>(present.size()))];
+                feed.push_back(
+                    {p, static_cast<rib::NextHop>(1 + rng.next_below(cfg.next_hops))});
+            }
+        } else {
+            const auto i = rng.next_below(static_cast<std::uint32_t>(present.size()));
+            feed.push_back({present[i], rib::kNoRoute});
+            present[i] = present.back();
+            present.pop_back();
+            if (present.empty()) break;
+        }
+    }
+    return feed;
+}
+
+}  // namespace workload

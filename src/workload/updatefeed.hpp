@@ -1,0 +1,40 @@
+// workload/updatefeed.hpp — synthetic BGP update feeds (§4.9).
+//
+// The paper replays one hour of RouteViews updates against RV-linx-p52:
+// 23,446 route updates, 18,141 announced and 5,305 withdrawn (77.4% / 22.6%).
+// The archives are not redistributable, so this generator produces a feed
+// with the same announce/withdraw mix over a live copy of the table:
+// announcements re-announce existing prefixes with a new next hop or add
+// fresh more-specifics; withdrawals remove currently present prefixes.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "rib/route.hpp"
+
+namespace workload {
+
+/// One update: next_hop == rib::kNoRoute means withdraw.
+struct UpdateEvent {
+    netbase::Prefix<netbase::Ipv4Addr> prefix;
+    rib::NextHop next_hop = rib::kNoRoute;
+};
+
+struct UpdateFeedConfig {
+    std::uint64_t seed = 11;
+    std::size_t updates = 23'446;     ///< the paper's hour of linx-p52
+    double announce_fraction = 0.774; ///< 18,141 / 23,446
+    /// Of the announcements, the share that adds a brand-new more-specific
+    /// prefix (the rest re-announce an existing prefix with a new next hop).
+    double new_prefix_fraction = 0.3;
+    unsigned next_hops = 419;  ///< RV-linx-p52's next-hop count
+};
+
+/// Builds a feed of `cfg.updates` events consistent with `table` (withdrawn
+/// prefixes exist at the time they are withdrawn, assuming events are applied
+/// in order).
+[[nodiscard]] std::vector<UpdateEvent> make_update_feed(
+    const rib::RouteList<netbase::Ipv4Addr>& table, const UpdateFeedConfig& cfg = {});
+
+}  // namespace workload

@@ -1,0 +1,78 @@
+// workload/xorshift.hpp — Marsaglia xorshift RNGs.
+//
+// §4.2: "232 random IP addresses are generated using xorshift ... which
+// allocates only four 32-bit variables", i.e. the xorshift128 generator from
+// Marsaglia (2003). We use it both to reproduce the paper's query stream
+// (generated just-in-time so the FIB is not pushed out of cache) and as the
+// seedable PRNG behind the table generators.
+#pragma once
+
+#include <cstdint>
+
+namespace workload {
+
+/// Marsaglia's xorshift128: four 32-bit words of state, period 2^128 - 1.
+class Xorshift128 {
+public:
+    /// Default state is Marsaglia's published constants.
+    constexpr Xorshift128() = default;
+
+    /// Seeded state: the seed is mixed into all four words (zero state is
+    /// remapped, as an all-zero state would be a fixed point).
+    constexpr explicit Xorshift128(std::uint64_t seed) noexcept
+    {
+        x_ ^= static_cast<std::uint32_t>(seed);
+        y_ ^= static_cast<std::uint32_t>(seed >> 32);
+        z_ ^= static_cast<std::uint32_t>(seed * 0x9E3779B9u);
+        w_ ^= static_cast<std::uint32_t>((seed >> 16) * 0x85EBCA6Bu);
+        if ((x_ | y_ | z_ | w_) == 0) x_ = 1;
+        // Warm up so that similar seeds diverge.
+        for (int i = 0; i < 8; ++i) (void)next();
+    }
+
+    /// Next 32-bit value.
+    constexpr std::uint32_t next() noexcept
+    {
+        const std::uint32_t t = x_ ^ (x_ << 11);
+        x_ = y_;
+        y_ = z_;
+        z_ = w_;
+        w_ = w_ ^ (w_ >> 19) ^ t ^ (t >> 8);
+        return w_;
+    }
+
+    /// Next value in [0, bound) without modulo bias worth caring about for
+    /// workload generation (Lemire-style multiply-shift).
+    constexpr std::uint32_t next_below(std::uint32_t bound) noexcept
+    {
+        return static_cast<std::uint32_t>(
+            (static_cast<std::uint64_t>(next()) * bound) >> 32);
+    }
+
+    /// Next double in [0, 1).
+    constexpr double next_double() noexcept { return next() * 0x1.0p-32; }
+
+    /// Next 64-bit value.
+    constexpr std::uint64_t next64() noexcept
+    {
+        return (static_cast<std::uint64_t>(next()) << 32) | next();
+    }
+
+private:
+    std::uint32_t x_ = 123456789;
+    std::uint32_t y_ = 362436069;
+    std::uint32_t z_ = 521288629;
+    std::uint32_t w_ = 88675123;
+};
+
+/// Stateless mixing hash (splitmix64 finalizer); used for deterministic
+/// per-item decisions (e.g. which /16 blocks are "deep-eligible").
+[[nodiscard]] constexpr std::uint64_t mix64(std::uint64_t v) noexcept
+{
+    v += 0x9E3779B97F4A7C15ull;
+    v = (v ^ (v >> 30)) * 0xBF58476D1CE4E5B9ull;
+    v = (v ^ (v >> 27)) * 0x94D049BB133111EBull;
+    return v ^ (v >> 31);
+}
+
+}  // namespace workload

@@ -1,0 +1,47 @@
+// workload/zipf.hpp — Zipf-distributed sampling for the synthetic traffic
+// trace (destination popularity in real Internet traffic is heavy-tailed).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "workload/xorshift.hpp"
+
+namespace workload {
+
+/// Samples ranks in [0, n) with P(rank = k) ∝ 1 / (k + 1)^alpha, via a
+/// precomputed CDF and binary search. Build cost O(n), sample cost O(log n).
+class ZipfSampler {
+public:
+    ZipfSampler(std::size_t n, double alpha)
+    {
+        cdf_.reserve(n);
+        double acc = 0;
+        for (std::size_t k = 0; k < n; ++k) {
+            acc += 1.0 / std::pow(static_cast<double>(k + 1), alpha);
+            cdf_.push_back(acc);
+        }
+        for (auto& v : cdf_) v /= acc;
+    }
+
+    [[nodiscard]] std::size_t sample(Xorshift128& rng) const noexcept
+    {
+        const double u = rng.next_double();
+        std::size_t lo = 0;
+        std::size_t hi = cdf_.size() - 1;
+        while (lo < hi) {
+            const std::size_t mid = (lo + hi) / 2;
+            if (cdf_[mid] < u)
+                lo = mid + 1;
+            else
+                hi = mid;
+        }
+        return lo;
+    }
+
+private:
+    std::vector<double> cdf_;
+};
+
+}  // namespace workload

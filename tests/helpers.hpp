@@ -1,0 +1,96 @@
+// tests/helpers.hpp — shared fixtures: small hand-built tables, generated
+// tables, and cross-validation loops used by every structure's test.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "baselines/linear.hpp"
+#include "rib/radix_trie.hpp"
+#include "rib/route.hpp"
+#include "workload/xorshift.hpp"
+
+namespace testhelpers {
+
+using netbase::Ipv4Addr;
+using netbase::Prefix4;
+using rib::NextHop;
+
+/// A small hand-crafted table exercising every structural corner: default
+/// route, nested prefixes (hole punching), sibling pairs that could merge,
+/// a full /32, prefixes straddling the direct-pointing boundary (/15-/19),
+/// and 6-bit-stride boundaries (/6, /12, /18, /24, /30).
+inline rib::RouteList<Ipv4Addr> corner_case_table()
+{
+    const auto p = [](const char* text) { return *netbase::parse_prefix4(text); };
+    return {
+        {p("0.0.0.0/0"), 1},        {p("10.0.0.0/8"), 2},
+        {p("10.32.0.0/11"), 3},     {p("10.32.0.0/16"), 4},
+        {p("10.32.5.0/24"), 5},     {p("10.32.5.128/25"), 6},
+        {p("10.32.5.192/30"), 7},   {p("10.32.5.193/32"), 8},
+        {p("10.33.0.0/16"), 4},     // same hop as sibling space: aggregation bait
+        {p("12.0.0.0/6"), 9},       // stride boundary /6
+        {p("14.1.0.0/12"), 10},     // canonicalizes to 14.0.0.0/12, nested in the /6
+        {p("14.16.0.0/12"), 10},    {p("192.168.0.0/18"), 11},
+        {p("192.168.64.0/18"), 11}, {p("192.168.128.0/18"), 12},
+        {p("192.168.192.0/18"), 12},
+        {p("100.64.0.0/15"), 13},   {p("100.66.0.0/17"), 14},
+        {p("100.66.128.0/19"), 15}, {p("200.0.0.0/30"), 16},
+        {p("200.0.0.4/30"), 16},    {p("223.255.255.252/30"), 17},
+        {p("223.255.255.255/32"), 18},
+    };
+}
+
+/// Exhaustively validates `lookup` against the radix trie over every address
+/// in [lo, hi] (inclusive). Returns the number of mismatches (0 expected).
+template <class LookupFn>
+std::size_t exhaustive_mismatches(const rib::RadixTrie<Ipv4Addr>& oracle, LookupFn&& lookup,
+                                  std::uint32_t lo, std::uint32_t hi)
+{
+    std::size_t bad = 0;
+    std::uint32_t a = lo;
+    for (;;) {
+        if (lookup(Ipv4Addr{a}) != oracle.lookup(Ipv4Addr{a})) ++bad;
+        if (a == hi) break;
+        ++a;
+    }
+    return bad;
+}
+
+/// Validates `lookup` against the oracle at every route boundary (first/last
+/// address, and one address outside on each side) plus `n_random` xorshift
+/// addresses. These are where off-by-one bugs live.
+template <class LookupFn>
+std::size_t boundary_and_random_mismatches(const rib::RadixTrie<Ipv4Addr>& oracle,
+                                           const rib::RouteList<Ipv4Addr>& routes,
+                                           LookupFn&& lookup, std::size_t n_random,
+                                           std::uint64_t seed = 12345)
+{
+    std::size_t bad = 0;
+    const auto check = [&](std::uint32_t a) {
+        if (lookup(Ipv4Addr{a}) != oracle.lookup(Ipv4Addr{a})) ++bad;
+    };
+    for (const auto& r : routes) {
+        const auto lo = r.prefix.first_address().value();
+        const auto hi = r.prefix.last_address().value();
+        check(lo);
+        check(hi);
+        check(lo - 1);  // wraps at 0: still a valid probe address
+        check(hi + 1);
+    }
+    workload::Xorshift128 rng(seed);
+    for (std::size_t i = 0; i < n_random; ++i) check(rng.next());
+    return bad;
+}
+
+/// Loads a route list into a fresh radix trie.
+inline rib::RadixTrie<Ipv4Addr> load(const rib::RouteList<Ipv4Addr>& routes)
+{
+    rib::RadixTrie<Ipv4Addr> t;
+    t.insert_all(routes);
+    return t;
+}
+
+}  // namespace testhelpers

@@ -1,0 +1,153 @@
+// Tests for §3's route aggregation: the transformation must preserve the
+// longest-prefix-match result for every address while shrinking the table.
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "rib/aggregate.hpp"
+#include "workload/tablegen.hpp"
+
+using namespace testhelpers;
+using rib::kNoRoute;
+
+namespace {
+Prefix4 pfx(const char* text) { return *netbase::parse_prefix4(text); }
+}  // namespace
+
+TEST(Aggregate, EmptyTable)
+{
+    rib::RadixTrie<Ipv4Addr> t;
+    EXPECT_TRUE(rib::aggregate_routes(t).empty());
+}
+
+TEST(Aggregate, MergesGaplessSiblings)
+{
+    rib::RadixTrie<Ipv4Addr> t;
+    t.insert(pfx("10.0.0.0/9"), 5);
+    t.insert(pfx("10.128.0.0/9"), 5);
+    const auto out = rib::aggregate_routes(t);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].prefix, pfx("10.0.0.0/8"));
+    EXPECT_EQ(out[0].next_hop, 5);
+}
+
+TEST(Aggregate, DoesNotMergeSiblingsWithDifferentHops)
+{
+    rib::RadixTrie<Ipv4Addr> t;
+    t.insert(pfx("10.0.0.0/9"), 5);
+    t.insert(pfx("10.128.0.0/9"), 6);
+    EXPECT_EQ(rib::aggregate_routes(t).size(), 2u);
+}
+
+TEST(Aggregate, DoesNotMergeAcrossGaps)
+{
+    // 10.0.0.0/9 with hop 5 and only *half* of the sibling covered: merging
+    // to /8 would wrongly capture the uncovered quarter.
+    rib::RadixTrie<Ipv4Addr> t;
+    t.insert(pfx("10.0.0.0/9"), 5);
+    t.insert(pfx("10.128.0.0/10"), 5);
+    const auto out = rib::aggregate_routes(t);
+    EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(Aggregate, RemovesRedundantChild)
+{
+    rib::RadixTrie<Ipv4Addr> t;
+    t.insert(pfx("10.0.0.0/8"), 5);
+    t.insert(pfx("10.1.0.0/16"), 5);  // same hop as what it would inherit
+    const auto out = rib::aggregate_routes(t);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].prefix, pfx("10.0.0.0/8"));
+}
+
+TEST(Aggregate, KeepsNonRedundantChild)
+{
+    rib::RadixTrie<Ipv4Addr> t;
+    t.insert(pfx("10.0.0.0/8"), 5);
+    t.insert(pfx("10.1.0.0/16"), 6);
+    EXPECT_EQ(rib::aggregate_routes(t).size(), 2u);
+}
+
+TEST(Aggregate, CollapsesFullyShadowedParent)
+{
+    // The parent's space is entirely covered by children with one hop: a
+    // single route represents the whole subtree even though the parent's own
+    // hop differs (no address actually resolves to it).
+    rib::RadixTrie<Ipv4Addr> t;
+    t.insert(pfx("10.0.0.0/8"), 1);
+    t.insert(pfx("10.0.0.0/9"), 2);
+    t.insert(pfx("10.128.0.0/9"), 2);
+    const auto out = rib::aggregate_routes(t);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].prefix, pfx("10.0.0.0/8"));
+    EXPECT_EQ(out[0].next_hop, 2);
+}
+
+TEST(Aggregate, PreservesSemanticsOnCornerTable)
+{
+    const auto routes = corner_case_table();
+    const auto original = load(routes);
+    const auto compact = load(rib::aggregate_routes(original));
+    EXPECT_LE(compact.route_count(), original.route_count());
+    EXPECT_EQ(boundary_and_random_mismatches(
+                  original, routes,
+                  [&](Ipv4Addr a) { return compact.lookup(a); }, 200'000),
+              0u);
+}
+
+TEST(Aggregate, ExhaustiveEquivalenceOnDenseSlice)
+{
+    // Dense random routes inside 10.20.0.0/16; exhaustive check of all 65536
+    // addresses of the slice plus its surroundings.
+    workload::Xorshift128 rng(42);
+    rib::RadixTrie<Ipv4Addr> original;
+    for (int i = 0; i < 400; ++i) {
+        const unsigned len = 16 + rng.next_below(17);
+        const std::uint32_t addr = 0x0A140000u | (rng.next() & 0xFFFF);
+        original.insert(Prefix4{Ipv4Addr{addr}, len},
+                        static_cast<NextHop>(1 + rng.next_below(5)));
+    }
+    const auto compact = load(rib::aggregate_routes(original));
+    EXPECT_EQ(exhaustive_mismatches(
+                  original, [&](Ipv4Addr a) { return compact.lookup(a); }, 0x0A13FF00u,
+                  0x0A150100u),
+              0u);
+}
+
+TEST(Aggregate, PropertyRandomTables)
+{
+    for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+        workload::TableGenConfig cfg;
+        cfg.seed = seed;
+        cfg.target_routes = 4000;
+        cfg.next_hops = 7;
+        cfg.igp_routes = 300;
+        const auto routes = workload::generate_table(cfg);
+        const auto original = load(routes);
+        const auto compact = load(rib::aggregate_routes(original));
+        EXPECT_LT(compact.route_count(), original.route_count()) << "seed " << seed;
+        EXPECT_EQ(boundary_and_random_mismatches(
+                      original, routes,
+                      [&](Ipv4Addr a) { return compact.lookup(a); }, 50'000, seed),
+                  0u)
+            << "seed " << seed;
+    }
+}
+
+TEST(Aggregate, IdempotentOnAggregatedTable)
+{
+    const auto original = load(corner_case_table());
+    const auto once = rib::aggregate_routes(original);
+    const auto twice = rib::aggregate_routes(load(once));
+    EXPECT_EQ(once.size(), twice.size());
+}
+
+TEST(Aggregate, Ipv6Semantics)
+{
+    rib::RadixTrie<netbase::Ipv6Addr> t;
+    t.insert(*netbase::parse_prefix6("2001:db8::/33"), 3);
+    t.insert(*netbase::parse_prefix6("2001:db8:8000::/33"), 3);
+    t.insert(*netbase::parse_prefix6("2001:db8:1::/48"), 3);  // redundant
+    const auto out = rib::aggregate_routes(t);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].prefix, *netbase::parse_prefix6("2001:db8::/32"));
+}

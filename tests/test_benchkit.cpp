@@ -1,0 +1,160 @@
+// Tests for the measurement kit: statistics, CLI parsing, formatting, and
+// the runner loops' bookkeeping.
+#include <gtest/gtest.h>
+
+#include "benchkit/cli.hpp"
+#include "benchkit/cycles.hpp"
+#include "benchkit/runner.hpp"
+#include "benchkit/stats.hpp"
+#include "benchkit/table_printer.hpp"
+
+using namespace benchkit;
+
+TEST(Stats, MeanStd)
+{
+    const auto r = mean_std({2, 4, 4, 4, 5, 5, 7, 9});
+    EXPECT_DOUBLE_EQ(r.mean, 5.0);
+    EXPECT_NEAR(r.std, 2.138, 0.001);  // sample std (n-1)
+    EXPECT_EQ(mean_std({}).mean, 0.0);
+    EXPECT_EQ(mean_std({3.5}).std, 0.0);
+}
+
+TEST(Stats, Percentiles)
+{
+    std::vector<std::uint64_t> s;
+    for (std::uint64_t i = 1; i <= 100; ++i) s.push_back(i);
+    const Percentiles p(std::move(s));
+    EXPECT_NEAR(p.percentile(0), 1.0, 1e-9);
+    EXPECT_NEAR(p.percentile(50), 50.5, 1e-9);
+    EXPECT_NEAR(p.percentile(100), 100.0, 1e-9);
+    EXPECT_NEAR(p.percentile(95), 95.05, 0.001);
+    EXPECT_NEAR(p.mean(), 50.5, 1e-9);
+}
+
+TEST(Stats, CdfAt)
+{
+    const Percentiles p({10, 20, 30, 40});
+    const auto cdf = p.cdf_at({5, 10, 25, 40, 100});
+    EXPECT_DOUBLE_EQ(cdf[0], 0.0);
+    EXPECT_DOUBLE_EQ(cdf[1], 0.25);
+    EXPECT_DOUBLE_EQ(cdf[2], 0.5);
+    EXPECT_DOUBLE_EQ(cdf[3], 1.0);
+    EXPECT_DOUBLE_EQ(cdf[4], 1.0);
+}
+
+TEST(Stats, Candle)
+{
+    std::vector<std::uint64_t> s;
+    for (std::uint64_t i = 0; i < 1000; ++i) s.push_back(i);
+    const auto c = candle(std::move(s));
+    EXPECT_LT(c.p5, c.p25);
+    EXPECT_LT(c.p25, c.p50);
+    EXPECT_LT(c.p50, c.p75);
+    EXPECT_LT(c.p75, c.p95);
+    EXPECT_EQ(c.n, 1000u);
+}
+
+TEST(Cli, FlagsAndValues)
+{
+    const char* argv[] = {"bench", "--full", "--lookups=1024", "--name=foo", "--ratio=0.5"};
+    const Args args(5, const_cast<char**>(argv));
+    EXPECT_TRUE(args.has("full"));
+    EXPECT_FALSE(args.has("quick"));
+    EXPECT_EQ(args.get_u64("lookups", 0), 1024u);
+    EXPECT_EQ(args.get_u64("missing", 7), 7u);
+    EXPECT_EQ(args.get("name", ""), "foo");
+    EXPECT_DOUBLE_EQ(args.get_double("ratio", 0), 0.5);
+    EXPECT_EQ(args.lookups(100, 200), 1024u);  // explicit override wins
+    EXPECT_EQ(args.trials(), 10u);             // --full default
+}
+
+TEST(Cli, QuickDefaults)
+{
+    const char* argv[] = {"bench"};
+    const Args args(1, const_cast<char**>(argv));
+    EXPECT_EQ(args.lookups(100, 200), 100u);
+    EXPECT_EQ(args.trials(), 3u);
+    EXPECT_EQ(args.seed(42), 42u);
+}
+
+TEST(Cli, PrefixNamesDoNotCollide)
+{
+    const char* argv[] = {"bench", "--lookups-extra=5"};
+    const Args args(2, const_cast<char**>(argv));
+    EXPECT_EQ(args.get_u64("lookups", 7), 7u);  // "--lookups-extra" != "--lookups"
+}
+
+TEST(Printer, Formatting)
+{
+    EXPECT_EQ(fmt(3.14159, 2), "3.14");
+    EXPECT_EQ(fmt(2.0, 0), "2");
+    EXPECT_EQ(fmt_mean_std(240.5151, 5.468), "240.52 (5.47)");
+    EXPECT_EQ(fmt_mib(2u * 1024 * 1024), "2.00");
+    EXPECT_EQ(fmt_count(531489), "531,489");
+    EXPECT_EQ(fmt_count(7), "7");
+    EXPECT_EQ(fmt_count(1000), "1,000");
+}
+
+TEST(Runner, ChecksumAndDeterminism)
+{
+    // A fake lookup whose result is a function of the address: repeated runs
+    // with the same seed must produce identical checksums.
+    const auto lookup = [](std::uint32_t a) { return static_cast<std::uint16_t>(a >> 16); };
+    const auto r1 = measure_random(lookup, 10'000, 2, 9);
+    const auto r2 = measure_random(lookup, 10'000, 2, 9);
+    EXPECT_EQ(r1.checksum, r2.checksum);
+    EXPECT_GT(r1.mlps_mean, 0.0);
+}
+
+TEST(Runner, RepeatedIssuesEachAddressSixteenTimes)
+{
+    std::uint32_t distinct = 0;
+    std::uint32_t last = 0;
+    std::uint32_t run = 0;
+    bool ok = true;
+    const auto lookup = [&](std::uint32_t a) {
+        if (a != last || run == 0) {
+            if (run != 0 && run != kRepeatFactor) ok = false;
+            last = a;
+            run = 0;
+            ++distinct;
+        }
+        ++run;
+        return std::uint16_t{1};
+    };
+    (void)measure_repeated(lookup, 1'600, 1, 3);
+    EXPECT_TRUE(ok);
+    EXPECT_EQ(distinct, 100u);
+}
+
+TEST(Runner, TraceReplaysExactly)
+{
+    const std::vector<std::uint32_t> trace{1, 2, 3, 2, 1};
+    std::uint64_t sum = 0;
+    const auto r = measure_trace(
+        [&](std::uint32_t a) {
+            sum += a;
+            return static_cast<std::uint16_t>(a);
+        },
+        trace, 2);
+    EXPECT_EQ(sum, 18u);  // 9 per trial x 2 trials
+    EXPECT_EQ(r.checksum, 18u);
+}
+
+TEST(Runner, MultithreadAggregates)
+{
+    const auto lookup = [](std::uint32_t a) { return static_cast<std::uint16_t>(a & 7); };
+    const auto r = measure_random_multithread(lookup, 50'000, 2, 2);
+    EXPECT_GT(r.mlps_mean, 0.0);
+    EXPECT_GT(r.checksum, 0u);
+}
+
+TEST(Cycles, CalibrationIsSane)
+{
+    const auto overhead = calibrate_tsc_overhead();
+    EXPECT_GT(overhead, 0u);
+    EXPECT_LT(overhead, 10'000u);
+    const double hz = tsc_hz();
+    EXPECT_GT(hz, 1e8);   // > 100 MHz
+    EXPECT_LT(hz, 1e11);  // < 100 GHz
+}

@@ -1,0 +1,122 @@
+// Unit and property tests for the buddy allocator substrate.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "alloc/buddy_allocator.hpp"
+#include "workload/xorshift.hpp"
+
+using alloc::BuddyAllocator;
+
+TEST(Buddy, CapacityRoundsUpToPowerOfTwo)
+{
+    EXPECT_EQ(BuddyAllocator{0}.capacity(), 1u);
+    EXPECT_EQ(BuddyAllocator{1}.capacity(), 1u);
+    EXPECT_EQ(BuddyAllocator{3}.capacity(), 4u);
+    EXPECT_EQ(BuddyAllocator{1000}.capacity(), 1024u);
+    EXPECT_EQ(BuddyAllocator{1024}.capacity(), 1024u);
+}
+
+TEST(Buddy, AllocateSplitsAndAligns)
+{
+    BuddyAllocator a{64};
+    const auto x = a.allocate(16);
+    ASSERT_TRUE(x.has_value());
+    EXPECT_EQ(*x % 16, 0u);
+    const auto y = a.allocate(3);  // rounds to 4
+    ASSERT_TRUE(y.has_value());
+    EXPECT_EQ(*y % 4, 0u);
+    EXPECT_EQ(a.used(), 20u);
+}
+
+TEST(Buddy, ExhaustionReturnsNullopt)
+{
+    BuddyAllocator a{8};
+    EXPECT_TRUE(a.allocate(8).has_value());
+    EXPECT_FALSE(a.allocate(1).has_value());
+    EXPECT_FALSE(a.allocate(9).has_value());  // larger than capacity
+}
+
+TEST(Buddy, FreeCoalescesBuddies)
+{
+    BuddyAllocator a{8};
+    const auto x = a.allocate(4);
+    const auto y = a.allocate(4);
+    ASSERT_TRUE(x && y);
+    EXPECT_FALSE(a.allocate(8).has_value());
+    a.free(*x, 4);
+    a.free(*y, 4);
+    EXPECT_TRUE(a.all_free());
+    EXPECT_TRUE(a.allocate(8).has_value());  // merged back into one block
+}
+
+TEST(Buddy, LargestFreeRunTracksFragmentation)
+{
+    BuddyAllocator a{16};
+    EXPECT_EQ(a.largest_free_run(), 16u);
+    const auto x = a.allocate(1);
+    ASSERT_TRUE(x);
+    EXPECT_EQ(a.largest_free_run(), 8u);
+    a.free(*x, 1);
+    EXPECT_EQ(a.largest_free_run(), 16u);
+}
+
+TEST(Buddy, GrowDoublesAndKeepsAllocations)
+{
+    BuddyAllocator a{4};
+    const auto x = a.allocate(4);
+    ASSERT_TRUE(x);
+    EXPECT_FALSE(a.allocate(1));
+    a.grow();
+    EXPECT_EQ(a.capacity(), 8u);
+    const auto y = a.allocate(4);
+    ASSERT_TRUE(y);
+    EXPECT_NE(*x, *y);
+}
+
+TEST(Buddy, GrowCoalescesWithFreeLowerHalf)
+{
+    BuddyAllocator a{4};
+    a.grow();  // entirely free: should become one block of 8
+    EXPECT_EQ(a.largest_free_run(), 8u);
+    EXPECT_TRUE(a.allocate(8).has_value());
+}
+
+// Property test: random allocate/free interleavings never hand out
+// overlapping runs, and freeing everything coalesces back to one block.
+TEST(Buddy, PropertyNoOverlapAndFullCoalesce)
+{
+    workload::Xorshift128 rng(77);
+    for (int round = 0; round < 20; ++round) {
+        BuddyAllocator a{256};
+        // offset -> size of live allocations
+        std::map<std::uint32_t, std::uint32_t> live;
+        for (int step = 0; step < 2000; ++step) {
+            if (live.empty() || (rng.next() & 1)) {
+                const std::uint32_t want = 1 + rng.next_below(32);
+                const auto got = a.allocate(want);
+                if (!got) continue;
+                // No overlap with any live allocation.
+                const auto rounded = std::bit_ceil(want);
+                auto it = live.upper_bound(*got);
+                if (it != live.end()) {
+                    EXPECT_GE(it->first, *got + rounded);
+                }
+                if (it != live.begin()) {
+                    --it;
+                    EXPECT_LE(it->first + std::bit_ceil(it->second), *got);
+                }
+                live[*got] = want;
+            } else {
+                auto it = live.begin();
+                std::advance(it, rng.next_below(static_cast<std::uint32_t>(live.size())));
+                a.free(it->first, it->second);
+                live.erase(it);
+            }
+        }
+        for (const auto& [off, size] : live) a.free(off, size);
+        EXPECT_TRUE(a.all_free());
+        EXPECT_EQ(a.largest_free_run(), 256u);
+    }
+}

@@ -1,0 +1,93 @@
+// Tests for the DIR-24-8-BASIC baseline.
+#include <gtest/gtest.h>
+
+#include "baselines/dir24.hpp"
+#include "helpers.hpp"
+#include "workload/tablegen.hpp"
+
+using namespace testhelpers;
+using baselines::Dir24;
+using rib::kNoRoute;
+
+namespace {
+Prefix4 pfx(const char* text) { return *netbase::parse_prefix4(text); }
+}  // namespace
+
+TEST(Dir24, EmptyTableMisses)
+{
+    const rib::RadixTrie<Ipv4Addr> rib;
+    const Dir24 d{rib};
+    EXPECT_EQ(d.lookup(Ipv4Addr{0x01020304}), kNoRoute);
+    EXPECT_EQ(d.chunk_count(), 0u);
+}
+
+TEST(Dir24, ShortPrefixOneAccess)
+{
+    rib::RadixTrie<Ipv4Addr> rib;
+    rib.insert(pfx("10.0.0.0/8"), 3);
+    rib.insert(pfx("10.1.2.0/24"), 4);
+    const Dir24 d{rib};
+    EXPECT_EQ(d.chunk_count(), 0u);  // nothing longer than /24
+    EXPECT_EQ(d.lookup(*netbase::parse_ipv4("10.1.2.200")), 4);
+    EXPECT_EQ(d.lookup(*netbase::parse_ipv4("10.1.3.200")), 3);
+}
+
+TEST(Dir24, LongPrefixSpillsToTbl8)
+{
+    rib::RadixTrie<Ipv4Addr> rib;
+    rib.insert(pfx("10.0.0.0/8"), 1);
+    rib.insert(pfx("10.1.2.128/25"), 2);
+    const Dir24 d{rib};
+    EXPECT_EQ(d.chunk_count(), 1u);
+    EXPECT_EQ(d.lookup(*netbase::parse_ipv4("10.1.2.127")), 1);
+    EXPECT_EQ(d.lookup(*netbase::parse_ipv4("10.1.2.128")), 2);
+    EXPECT_EQ(d.lookup(*netbase::parse_ipv4("10.1.2.255")), 2);
+    EXPECT_EQ(d.lookup(*netbase::parse_ipv4("10.1.3.0")), 1);
+}
+
+TEST(Dir24, ExhaustiveOnDenseSlice)
+{
+    workload::Xorshift128 rng(4242);
+    rib::RadixTrie<Ipv4Addr> rib;
+    rib.insert(pfx("0.0.0.0/0"), 1);
+    for (int i = 0; i < 500; ++i) {
+        const unsigned len = 16 + rng.next_below(17);
+        const std::uint32_t addr = 0x0A140000u | (rng.next() & 0xFFFF);
+        rib.insert(Prefix4{Ipv4Addr{addr}, len}, static_cast<NextHop>(2 + rng.next_below(6)));
+    }
+    const Dir24 d{rib};
+    EXPECT_EQ(exhaustive_mismatches(
+                  rib, [&](Ipv4Addr a) { return d.lookup(a); }, 0x0A13FF00u, 0x0A150100u),
+              0u);
+}
+
+TEST(Dir24, MatchesRadixOnGeneratedTable)
+{
+    workload::TableGenConfig gen;
+    gen.seed = 24;
+    gen.target_routes = 40'000;
+    gen.next_hops = 40;
+    gen.igp_routes = 2'000;
+    const auto routes = workload::generate_table(gen);
+    const auto rib = load(routes);
+    const Dir24 d{rib};
+    EXPECT_EQ(boundary_and_random_mismatches(
+                  rib, routes, [&](Ipv4Addr a) { return d.lookup(a); }, 300'000),
+              0u);
+}
+
+TEST(Dir24, WideNextHopThrows)
+{
+    rib::RadixTrie<Ipv4Addr> rib;
+    rib.insert(pfx("10.0.0.0/8"), static_cast<NextHop>(0x8001));
+    EXPECT_THROW(Dir24{rib}, baselines::StructuralLimit);
+}
+
+TEST(LinearOracle, DeduplicatesWithReplaceSemantics)
+{
+    rib::RouteList<Ipv4Addr> routes{{pfx("10.0.0.0/8"), 1}, {pfx("10.0.0.0/8"), 5}};
+    const baselines::LinearLpm4 l(routes);
+    EXPECT_EQ(l.route_count(), 1u);
+    EXPECT_EQ(l.lookup(*netbase::parse_ipv4("10.1.1.1")), 5);
+    EXPECT_EQ(l.lookup(*netbase::parse_ipv4("11.1.1.1")), kNoRoute);
+}

@@ -1,0 +1,180 @@
+// Tests for the DXR baseline: range construction, short/long formats,
+// structural limits, the "modified" variant, and D16R/D18R equivalence.
+#include <gtest/gtest.h>
+
+#include "baselines/dxr.hpp"
+#include "baselines/flatten.hpp"
+#include "helpers.hpp"
+#include "workload/tablegen.hpp"
+
+using namespace testhelpers;
+using baselines::Dxr;
+using baselines::DxrOptions;
+using rib::kNoRoute;
+
+namespace {
+Prefix4 pfx(const char* text) { return *netbase::parse_prefix4(text); }
+}  // namespace
+
+TEST(Flatten, EmptyTableIsOneMissRun)
+{
+    const rib::RadixTrie<Ipv4Addr> rib;
+    const auto runs = baselines::flatten(rib);
+    ASSERT_EQ(runs.size(), 1u);
+    EXPECT_EQ(runs[0].start, 0u);
+    EXPECT_EQ(runs[0].next_hop, kNoRoute);
+}
+
+TEST(Flatten, RunsCoverSpaceInOrderWithNoAdjacentDuplicates)
+{
+    const auto rib = load(corner_case_table());
+    const auto runs = baselines::flatten(rib);
+    ASSERT_FALSE(runs.empty());
+    EXPECT_EQ(runs.front().start, 0u);
+    for (std::size_t i = 1; i < runs.size(); ++i) {
+        EXPECT_LT(runs[i - 1].start, runs[i].start);
+        EXPECT_NE(runs[i - 1].next_hop, runs[i].next_hop);
+    }
+    // Each run's start resolves to its hop, as does the address just before
+    // the next run.
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        EXPECT_EQ(rib.lookup(Ipv4Addr{runs[i].start}), runs[i].next_hop);
+        const std::uint32_t last =
+            i + 1 < runs.size() ? runs[i + 1].start - 1 : 0xFFFFFFFFu;
+        EXPECT_EQ(rib.lookup(Ipv4Addr{last}), runs[i].next_hop);
+    }
+}
+
+TEST(Dxr, EmptyTableMisses)
+{
+    const rib::RadixTrie<Ipv4Addr> rib;
+    const Dxr d{rib};
+    EXPECT_EQ(d.lookup(Ipv4Addr{0x01020304}), kNoRoute);
+    EXPECT_EQ(d.range_count(), 0u);  // all chunks are single-hop leaves
+}
+
+TEST(Dxr, SingleHopChunksEncodeDirectly)
+{
+    rib::RadixTrie<Ipv4Addr> rib;
+    rib.insert(pfx("10.0.0.0/8"), 3);  // every /18-chunk inside is uniform
+    const Dxr d{rib, {.direct_bits = 18}};
+    EXPECT_EQ(d.range_count(), 0u);
+    EXPECT_EQ(d.lookup(*netbase::parse_ipv4("10.200.1.1")), 3);
+    EXPECT_EQ(d.lookup(*netbase::parse_ipv4("11.0.0.0")), kNoRoute);
+}
+
+TEST(Dxr, BinarySearchBoundaries)
+{
+    rib::RadixTrie<Ipv4Addr> rib;
+    rib.insert(pfx("10.0.0.0/8"), 1);
+    rib.insert(pfx("10.0.7.0/24"), 2);
+    rib.insert(pfx("10.0.9.32/27"), 3);
+    for (const unsigned k : {16u, 18u}) {
+        const Dxr d{rib, {.direct_bits = k}};
+        for (const char* probe : {"10.0.6.255", "10.0.7.0", "10.0.7.255", "10.0.8.0",
+                                  "10.0.9.31", "10.0.9.32", "10.0.9.63", "10.0.9.64"}) {
+            const auto a = *netbase::parse_ipv4(probe);
+            ASSERT_EQ(d.lookup(a), rib.lookup(a)) << probe << " k=" << k;
+        }
+    }
+}
+
+TEST(Dxr, ShortFormatUsedForAlignedSmallHops)
+{
+    // Boundaries at /24 granularity within a /16 chunk (aligned to 256 =
+    // 2^(16-8)) and hops < 256: the short format must kick in and the memory
+    // footprint must shrink accordingly.
+    rib::RadixTrie<Ipv4Addr> rib;
+    rib.insert(pfx("10.0.0.0/16"), 1);
+    rib.insert(pfx("10.0.128.0/24"), 2);
+    const Dxr d16{rib, {.direct_bits = 16}};
+    const Dxr d16mod{rib, {.direct_bits = 16, .modified = true}};
+    EXPECT_EQ(d16.range_count(), d16mod.range_count());
+    EXPECT_LT(d16.memory_bytes(), d16mod.memory_bytes());  // short = 2B vs 4B ranges
+    for (const char* probe : {"10.0.127.255", "10.0.128.0", "10.0.128.255", "10.0.129.0"}) {
+        const auto a = *netbase::parse_ipv4(probe);
+        EXPECT_EQ(d16.lookup(a), rib.lookup(a)) << probe;
+        EXPECT_EQ(d16mod.lookup(a), rib.lookup(a)) << probe;
+    }
+}
+
+TEST(Dxr, LongFormatForUnalignedOrWideHops)
+{
+    rib::RadixTrie<Ipv4Addr> rib;
+    rib.insert(pfx("10.0.0.0/16"), 1);
+    rib.insert(pfx("10.0.128.16/28"), 300);  // unaligned + hop > 255
+    const Dxr d{rib, {.direct_bits = 16}};
+    EXPECT_EQ(d.lookup(*netbase::parse_ipv4("10.0.128.20")), 300);
+    EXPECT_EQ(d.lookup(*netbase::parse_ipv4("10.0.128.15")), 1);
+    EXPECT_EQ(d.lookup(*netbase::parse_ipv4("10.0.128.32")), 1);
+}
+
+TEST(Dxr, ExhaustiveOnDenseSlice)
+{
+    workload::Xorshift128 rng(4242);
+    rib::RadixTrie<Ipv4Addr> rib;
+    rib.insert(pfx("0.0.0.0/0"), 1);
+    for (int i = 0; i < 500; ++i) {
+        const unsigned len = 16 + rng.next_below(17);
+        const std::uint32_t addr = 0x0A140000u | (rng.next() & 0xFFFF);
+        rib.insert(Prefix4{Ipv4Addr{addr}, len}, static_cast<NextHop>(2 + rng.next_below(6)));
+    }
+    for (const unsigned k : {16u, 18u}) {
+        for (const bool mod : {false, true}) {
+            const Dxr d{rib, {.direct_bits = k, .modified = mod}};
+            EXPECT_EQ(exhaustive_mismatches(
+                          rib, [&](Ipv4Addr a) { return d.lookup(a); }, 0x0A13FF00u,
+                          0x0A150100u),
+                      0u)
+                << "k=" << k << " modified=" << mod;
+        }
+    }
+}
+
+TEST(Dxr, MatchesRadixOnGeneratedTable)
+{
+    workload::TableGenConfig gen;
+    gen.seed = 22;
+    gen.target_routes = 40'000;
+    gen.next_hops = 120;
+    gen.igp_routes = 2'000;
+    const auto routes = workload::generate_table(gen);
+    const auto rib = load(routes);
+    for (const unsigned k : {16u, 18u}) {
+        const Dxr d{rib, {.direct_bits = k}};
+        EXPECT_EQ(boundary_and_random_mismatches(
+                      rib, routes, [&](Ipv4Addr a) { return d.lookup(a); }, 300'000),
+                  0u)
+            << "k=" << k;
+    }
+}
+
+TEST(Dxr, StructuralLimitThrowsAndModifiedExtends)
+{
+    // §4.8: the unmodified encoding tops out at 2^19 ranges. Build a table
+    // with ~600k alternating /24 next hops to exceed it. The modified
+    // variant (2^20) must succeed on the same table.
+    rib::RadixTrie<Ipv4Addr> rib;
+    std::uint32_t addr = 0x0A000000;
+    for (int i = 0; i < 600'000; ++i) {
+        // Hops > 255 keep every chunk in the 4-byte long format, so the
+        // range count hits the 19-bit base limit head on.
+        rib.insert(Prefix4{Ipv4Addr{addr}, 24}, static_cast<NextHop>(256 + (i & 511)));
+        addr += 256;
+    }
+    EXPECT_THROW((Dxr{rib, {.direct_bits = 18}}), baselines::StructuralLimit);
+    const Dxr mod{rib, {.direct_bits = 18, .modified = true}};
+    EXPECT_GT(mod.range_count(), std::size_t{1} << 19);
+    EXPECT_EQ(mod.lookup(*netbase::parse_ipv4("10.0.1.7")),
+              rib.lookup(*netbase::parse_ipv4("10.0.1.7")));
+}
+
+TEST(Dxr, PerChunkRangeCountLimit)
+{
+    // More than 4095 ranges inside one /18 chunk (alternating /32 hosts).
+    rib::RadixTrie<Ipv4Addr> rib;
+    for (std::uint32_t i = 0; i < 10'000; ++i)
+        rib.insert(Prefix4{Ipv4Addr{0x0A000000u + i * 2}, 32},
+                   static_cast<NextHop>(1 + (i % 7)));
+    EXPECT_THROW((Dxr{rib, {.direct_bits = 18}}), baselines::StructuralLimit);
+}

@@ -1,0 +1,173 @@
+// IPv6 tests (§4.10): Poptrie6 across configurations and DXR6, validated
+// against the IPv6 radix trie on generated tables and crafted corner cases.
+#include <gtest/gtest.h>
+
+#include <gtest/gtest-param-test.h>
+
+#include "baselines/dxr.hpp"
+#include "baselines/treebitmap.hpp"
+#include "poptrie/poptrie.hpp"
+#include "workload/tablegen.hpp"
+#include "workload/xorshift.hpp"
+
+using netbase::Ipv6Addr;
+using netbase::Prefix6;
+using netbase::u128;
+using poptrie::Config;
+using poptrie::Poptrie6;
+using rib::kNoRoute;
+using rib::NextHop;
+
+namespace {
+
+Prefix6 pfx(const char* text) { return *netbase::parse_prefix6(text); }
+Ipv6Addr addr(const char* text) { return *netbase::parse_ipv6(text); }
+
+// Random address inside 2000::/8, as the paper's IPv6 query generator
+// ("four xorshift 32-bit random number generations to generate a 128-bit
+// random address").
+Ipv6Addr random_2000(workload::Xorshift128& rng)
+{
+    u128 v = (static_cast<u128>(rng.next()) << 96) | (static_cast<u128>(rng.next()) << 64) |
+             (static_cast<u128>(rng.next()) << 32) | rng.next();
+    v &= ~(u128{0xFF} << 120);
+    v |= u128{0x20} << 120;
+    return Ipv6Addr{v};
+}
+
+rib::RadixTrie<Ipv6Addr> corner_rib6()
+{
+    rib::RadixTrie<Ipv6Addr> t;
+    t.insert(pfx("::/0"), 1);
+    t.insert(pfx("2000::/3"), 2);
+    t.insert(pfx("2001:db8::/32"), 3);
+    t.insert(pfx("2001:db8:0:1::/64"), 4);
+    t.insert(pfx("2001:db8:0:1::8000/113"), 5);
+    t.insert(pfx("2001:db8:0:1::ffff/128"), 6);
+    t.insert(pfx("2400::/12"), 7);
+    t.insert(pfx("2400:8000::/17"), 8);
+    t.insert(pfx("fe80::/10"), 9);
+    return t;
+}
+
+}  // namespace
+
+class Poptrie6Configs : public testing::TestWithParam<unsigned> {};
+
+TEST_P(Poptrie6Configs, CornerCasesResolve)
+{
+    const auto rib = corner_rib6();
+    Config cfg;
+    cfg.direct_bits = GetParam();
+    const Poptrie6 pt{rib, cfg};
+    EXPECT_EQ(pt.lookup(addr("::1")), 1);
+    EXPECT_EQ(pt.lookup(addr("3000::1")), 2);
+    EXPECT_EQ(pt.lookup(addr("2001:db8:ffff::1")), 3);
+    EXPECT_EQ(pt.lookup(addr("2001:db8:0:1::1")), 4);
+    EXPECT_EQ(pt.lookup(addr("2001:db8:0:1::9000")), 5);
+    EXPECT_EQ(pt.lookup(addr("2001:db8:0:1::ffff")), 6);
+    EXPECT_EQ(pt.lookup(addr("2001:db8:0:1::fffe")), 5);
+    EXPECT_EQ(pt.lookup(addr("2400:7fff::1")), 7);
+    EXPECT_EQ(pt.lookup(addr("2400:8000::1")), 8);
+    EXPECT_EQ(pt.lookup(addr("fe80::1234")), 9);
+    EXPECT_EQ(pt.lookup(addr("fec0::1")), 1);
+}
+
+TEST_P(Poptrie6Configs, MatchesRadixOnGeneratedTable)
+{
+    workload::TableGen6Config gen;
+    gen.seed = 2;
+    gen.target_routes = 20'000;
+    gen.next_hops = 13;
+    const auto routes = workload::generate_table6(gen);
+    rib::RadixTrie<Ipv6Addr> rib;
+    rib.insert_all(routes);
+    Config cfg;
+    cfg.direct_bits = GetParam();
+    const Poptrie6 pt{rib, cfg};
+    workload::Xorshift128 rng(3);
+    for (int i = 0; i < 300'000; ++i) {
+        const auto a = random_2000(rng);
+        ASSERT_EQ(pt.lookup(a), rib.lookup(a)) << netbase::to_string(a);
+    }
+    // Boundary probes at every route edge.
+    for (const auto& r : routes) {
+        for (const u128 v : {r.prefix.first_address().value(), r.prefix.last_address().value(),
+                             r.prefix.first_address().value() - 1,
+                             r.prefix.last_address().value() + 1}) {
+            const Ipv6Addr a{v};
+            ASSERT_EQ(pt.lookup(a), rib.lookup(a)) << netbase::to_string(a);
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(DirectBits, Poptrie6Configs, testing::Values(0u, 12u, 16u, 18u),
+                         [](const testing::TestParamInfo<unsigned>& info) {
+                             return "s" + std::to_string(info.param);
+                         });
+
+TEST(Poptrie6, UpdateFeed)
+{
+    auto rib = corner_rib6();
+    Config cfg;
+    cfg.direct_bits = 16;
+    Poptrie6 pt{rib, cfg};
+    pt.apply(rib, pfx("2001:db8:0:2::/64"), 11);
+    EXPECT_EQ(pt.lookup(addr("2001:db8:0:2::5")), 11);
+    pt.apply(rib, pfx("2001:db8:0:1::/64"), kNoRoute);
+    EXPECT_EQ(pt.lookup(addr("2001:db8:0:1::1")), 3);
+    EXPECT_EQ(pt.lookup(addr("2001:db8:0:1::9000")), 5);  // /113 survives
+    pt.apply(rib, pfx("::/0"), 12);
+    EXPECT_EQ(pt.lookup(addr("fec0::1")), 12);
+    workload::Xorshift128 rng(5);
+    for (int i = 0; i < 100'000; ++i) {
+        const auto a = random_2000(rng);
+        ASSERT_EQ(pt.lookup(a), rib.lookup(a));
+    }
+}
+
+TEST(Dxr6, CornerCasesResolve)
+{
+    const auto rib = corner_rib6();
+    const baselines::Dxr6 d{rib, 18};
+    EXPECT_EQ(d.lookup(addr("3000::1")), 2);
+    EXPECT_EQ(d.lookup(addr("2001:db8:0:1::9000")), 5);
+    EXPECT_EQ(d.lookup(addr("2001:db8:0:1::ffff")), 6);
+    EXPECT_EQ(d.lookup(addr("2400:8000::1")), 8);
+    EXPECT_EQ(d.lookup(addr("fe80::1234")), 9);
+}
+
+TEST(Dxr6, MatchesRadixOnGeneratedTable)
+{
+    workload::TableGen6Config gen;
+    gen.seed = 4;
+    gen.target_routes = 20'000;
+    gen.next_hops = 13;
+    const auto routes = workload::generate_table6(gen);
+    rib::RadixTrie<Ipv6Addr> rib;
+    rib.insert_all(routes);
+    for (const unsigned k : {16u, 18u}) {
+        const baselines::Dxr6 d{rib, k};
+        workload::Xorshift128 rng(6);
+        for (int i = 0; i < 200'000; ++i) {
+            const auto a = random_2000(rng);
+            ASSERT_EQ(d.lookup(a), rib.lookup(a)) << netbase::to_string(a) << " k=" << k;
+        }
+    }
+}
+
+TEST(TreeBitmap6, MatchesRadixOnGeneratedTable)
+{
+    workload::TableGen6Config gen;
+    gen.seed = 8;
+    gen.target_routes = 5'000;
+    const auto routes = workload::generate_table6(gen);
+    rib::RadixTrie<Ipv6Addr> rib;
+    rib.insert_all(routes);
+    const baselines::TreeBitmap<Ipv6Addr, 6> t{rib};
+    workload::Xorshift128 rng(7);
+    for (int i = 0; i < 100'000; ++i) {
+        const auto a = random_2000(rng);
+        ASSERT_EQ(t.lookup(a), rib.lookup(a)) << netbase::to_string(a);
+    }
+}

@@ -1,0 +1,116 @@
+// Tests for the Lulea-style compressed table (Degermark et al. 1997).
+#include <gtest/gtest.h>
+
+#include "baselines/lulea.hpp"
+#include "helpers.hpp"
+#include "workload/tablegen.hpp"
+
+using namespace testhelpers;
+using baselines::Lulea;
+using rib::kNoRoute;
+
+namespace {
+Prefix4 pfx(const char* text) { return *netbase::parse_prefix4(text); }
+}  // namespace
+
+TEST(Lulea, EmptyTableMisses)
+{
+    const rib::RadixTrie<Ipv4Addr> rib;
+    const Lulea t{rib};
+    EXPECT_EQ(t.lookup(Ipv4Addr{0x01020304}), kNoRoute);
+    EXPECT_EQ(t.level24_chunks(), 0u);
+    // The whole empty space is one head: Lulea's compression at its best.
+    EXPECT_LT(t.memory_bytes(), 32u * 1024);
+}
+
+TEST(Lulea, HeadsMergeEqualNeighbours)
+{
+    // Two adjacent /16s with the same hop share one head; a different hop
+    // between them forces three.
+    rib::RadixTrie<Ipv4Addr> rib;
+    rib.insert(pfx("10.0.0.0/15"), 3);
+    const Lulea merged{rib};
+    rib.insert(pfx("10.0.0.0/16"), 4);
+    const Lulea split{rib};
+    EXPECT_GT(split.memory_bytes(), merged.memory_bytes());
+    EXPECT_EQ(split.lookup(*netbase::parse_ipv4("10.0.1.1")), 4);
+    EXPECT_EQ(split.lookup(*netbase::parse_ipv4("10.1.1.1")), 3);
+    EXPECT_EQ(split.lookup(*netbase::parse_ipv4("10.2.1.1")), kNoRoute);
+}
+
+TEST(Lulea, ThreeLevelDescent)
+{
+    rib::RadixTrie<Ipv4Addr> rib;
+    rib.insert(pfx("10.0.0.0/8"), 1);
+    rib.insert(pfx("10.1.128.0/17"), 2);   // level-24 chunk
+    rib.insert(pfx("10.1.2.128/25"), 3);   // level-32 chunk
+    rib.insert(pfx("10.1.2.200/32"), 4);
+    const Lulea t{rib};
+    EXPECT_EQ(t.level24_chunks(), 1u);
+    EXPECT_EQ(t.level32_chunks(), 1u);
+    EXPECT_EQ(t.lookup(*netbase::parse_ipv4("10.2.0.1")), 1);
+    EXPECT_EQ(t.lookup(*netbase::parse_ipv4("10.1.200.1")), 2);
+    EXPECT_EQ(t.lookup(*netbase::parse_ipv4("10.1.2.127")), 1);
+    EXPECT_EQ(t.lookup(*netbase::parse_ipv4("10.1.2.129")), 3);
+    EXPECT_EQ(t.lookup(*netbase::parse_ipv4("10.1.2.200")), 4);
+    EXPECT_EQ(t.lookup(*netbase::parse_ipv4("10.1.2.201")), 3);
+}
+
+TEST(Lulea, CodewordBoundaries)
+{
+    // Heads landing exactly on 16-bit codeword and 64-bit base-group
+    // boundaries of the level-16 vector (positions 15/16/63/64 of the
+    // top-16-bit space) are where the offset/base arithmetic can break.
+    rib::RadixTrie<Ipv4Addr> rib;
+    for (const std::uint32_t block : {15u, 16u, 63u, 64u, 4095u, 4096u}) {
+        rib.insert(Prefix4{Ipv4Addr{block << 16}, 16},
+                   static_cast<NextHop>(1 + (block % 7)));
+    }
+    const Lulea t{rib};
+    for (const std::uint32_t block : {15u, 16u, 63u, 64u, 4095u, 4096u}) {
+        EXPECT_EQ(t.lookup(Ipv4Addr{(block << 16) | 0x1234}),
+                  static_cast<NextHop>(1 + (block % 7)))
+            << block;
+    }
+    // The empty blocks around each routed pair resolve to nothing.
+    for (const std::uint32_t gap : {14u, 17u, 62u, 65u, 4094u, 4097u})
+        EXPECT_EQ(t.lookup(Ipv4Addr{gap << 16}), kNoRoute) << gap;
+}
+
+TEST(Lulea, ExhaustiveOnDenseSlice)
+{
+    workload::Xorshift128 rng(4242);
+    rib::RadixTrie<Ipv4Addr> rib;
+    rib.insert(pfx("0.0.0.0/0"), 1);
+    for (int i = 0; i < 500; ++i) {
+        const unsigned len = 16 + rng.next_below(17);
+        const std::uint32_t addr = 0x0A140000u | (rng.next() & 0xFFFF);
+        rib.insert(Prefix4{Ipv4Addr{addr}, len}, static_cast<NextHop>(2 + rng.next_below(6)));
+    }
+    const Lulea t{rib};
+    EXPECT_EQ(exhaustive_mismatches(
+                  rib, [&](Ipv4Addr a) { return t.lookup(a); }, 0x0A13FF00u, 0x0A150100u),
+              0u);
+}
+
+TEST(Lulea, MatchesRadixOnGeneratedTable)
+{
+    workload::TableGenConfig gen;
+    gen.seed = 61;
+    gen.target_routes = 40'000;
+    gen.next_hops = 19;
+    gen.igp_routes = 2'000;
+    const auto routes = workload::generate_table(gen);
+    const auto rib = load(routes);
+    const Lulea t{rib};
+    EXPECT_EQ(boundary_and_random_mismatches(
+                  rib, routes, [&](Ipv4Addr a) { return t.lookup(a); }, 300'000),
+              0u);
+}
+
+TEST(Lulea, WideNextHopThrows)
+{
+    rib::RadixTrie<Ipv4Addr> rib;
+    rib.insert(pfx("10.0.0.0/8"), static_cast<NextHop>(0x8000));
+    EXPECT_THROW(Lulea{rib}, baselines::StructuralLimit);
+}

@@ -1,0 +1,288 @@
+// Unit tests for the address/prefix/bit-helper foundation.
+#include <gtest/gtest.h>
+
+#include "netbase/bits.hpp"
+#include "netbase/ipv4.hpp"
+#include "netbase/ipv6.hpp"
+#include "netbase/prefix.hpp"
+#include "workload/xorshift.hpp"
+
+using namespace netbase;
+
+TEST(Ipv4, ParseValid)
+{
+    EXPECT_EQ(parse_ipv4("0.0.0.0")->value(), 0u);
+    EXPECT_EQ(parse_ipv4("255.255.255.255")->value(), 0xFFFFFFFFu);
+    EXPECT_EQ(parse_ipv4("10.0.0.1")->value(), 0x0A000001u);
+    EXPECT_EQ(parse_ipv4("192.168.1.2")->value(), 0xC0A80102u);
+    EXPECT_EQ(parse_ipv4("1.2.3.4")->value(), 0x01020304u);
+}
+
+TEST(Ipv4, ParseInvalid)
+{
+    EXPECT_FALSE(parse_ipv4(""));
+    EXPECT_FALSE(parse_ipv4("1.2.3"));
+    EXPECT_FALSE(parse_ipv4("1.2.3.4.5"));
+    EXPECT_FALSE(parse_ipv4("256.0.0.1"));
+    EXPECT_FALSE(parse_ipv4("1.2.3.4 "));
+    EXPECT_FALSE(parse_ipv4(" 1.2.3.4"));
+    EXPECT_FALSE(parse_ipv4("1..2.3"));
+    EXPECT_FALSE(parse_ipv4("a.b.c.d"));
+    EXPECT_FALSE(parse_ipv4("1.2.3.-4"));
+    EXPECT_FALSE(parse_ipv4("1.2.3.0004"));
+}
+
+TEST(Ipv4, FormatRoundTrip)
+{
+    workload::Xorshift128 rng(1);
+    for (int i = 0; i < 1000; ++i) {
+        const Ipv4Addr a{rng.next()};
+        const auto parsed = parse_ipv4(to_string(a));
+        ASSERT_TRUE(parsed.has_value());
+        EXPECT_EQ(parsed->value(), a.value());
+    }
+}
+
+TEST(Ipv4, OctetConstructor)
+{
+    EXPECT_EQ(Ipv4Addr(10, 1, 2, 3).value(), 0x0A010203u);
+    EXPECT_LT(Ipv4Addr(10, 0, 0, 0), Ipv4Addr(11, 0, 0, 0));
+}
+
+TEST(Ipv6, ParseBasic)
+{
+    EXPECT_EQ(parse_ipv6("::")->value(), u128{0});
+    EXPECT_EQ(parse_ipv6("::1")->value(), u128{1});
+    EXPECT_EQ(parse_ipv6("2001:db8::")->high(), 0x20010db800000000ull);
+    const auto full = parse_ipv6("1:2:3:4:5:6:7:8");
+    ASSERT_TRUE(full);
+    EXPECT_EQ(full->high(), 0x0001000200030004ull);
+    EXPECT_EQ(full->low(), 0x0005000600070008ull);
+}
+
+TEST(Ipv6, ParseGapPositions)
+{
+    EXPECT_EQ(parse_ipv6("1::")->high(), 0x0001000000000000ull);
+    EXPECT_EQ(parse_ipv6("1::8")->low(), 0x0000000000000008ull);
+    EXPECT_EQ(parse_ipv6("::8:9")->low(), 0x0000000000080009ull);
+    EXPECT_EQ(parse_ipv6("1:2::7:8")->high(), 0x0001000200000000ull);
+}
+
+TEST(Ipv6, ParseEmbeddedIpv4)
+{
+    const auto a = parse_ipv6("::ffff:192.0.2.1");
+    ASSERT_TRUE(a);
+    EXPECT_EQ(a->low(), 0x0000FFFFC0000201ull);
+}
+
+TEST(Ipv6, ParseInvalid)
+{
+    EXPECT_FALSE(parse_ipv6(""));
+    EXPECT_FALSE(parse_ipv6(":::"));
+    EXPECT_FALSE(parse_ipv6("1:2:3:4:5:6:7"));      // too few groups, no gap
+    EXPECT_FALSE(parse_ipv6("1:2:3:4:5:6:7:8:9"));  // too many groups
+    EXPECT_FALSE(parse_ipv6("1::2::3"));            // two gaps
+    EXPECT_FALSE(parse_ipv6("12345::"));            // group too wide
+    EXPECT_FALSE(parse_ipv6("1:2:3:4:5:6:7:8::"));  // gap with 8 groups
+    EXPECT_FALSE(parse_ipv6("g::"));
+    EXPECT_FALSE(parse_ipv6("1:"));
+}
+
+TEST(Ipv6, FormatCanonical)
+{
+    EXPECT_EQ(to_string(Ipv6Addr{0, 0}), "::");
+    EXPECT_EQ(to_string(Ipv6Addr{0, 1}), "::1");
+    EXPECT_EQ(to_string(*parse_ipv6("2001:db8:0:0:1:0:0:1")), "2001:db8::1:0:0:1");
+    EXPECT_EQ(to_string(*parse_ipv6("2001:0:0:1:0:0:0:1")), "2001:0:0:1::1");
+}
+
+TEST(Ipv6, FormatRoundTrip)
+{
+    workload::Xorshift128 rng(2);
+    for (int i = 0; i < 1000; ++i) {
+        // Sparse values exercise the "::" compressor harder.
+        u128 v = 0;
+        for (int g = 0; g < 8; ++g)
+            if (rng.next() & 1) v |= static_cast<u128>(rng.next() & 0xFFFF) << (16 * g);
+        const Ipv6Addr a{v};
+        const auto parsed = parse_ipv6(to_string(a));
+        ASSERT_TRUE(parsed.has_value()) << to_string(a);
+        EXPECT_EQ(parsed->value() == a.value(), true) << to_string(a);
+    }
+}
+
+TEST(Bits, Extract)
+{
+    EXPECT_EQ(extract(std::uint32_t{0xC0000000}, 0, 2), 3u);
+    EXPECT_EQ(extract(std::uint32_t{0x00000001}, 31, 1), 1u);
+    EXPECT_EQ(extract(std::uint32_t{0x12345678}, 0, 32), 0x12345678u);
+    EXPECT_EQ(extract(std::uint32_t{0xABCD0000}, 4, 8), 0xBCu);
+    const u128 v6 = u128{0x2001'0db8'0000'0000ull} << 64;
+    EXPECT_EQ(extract(v6, 0, 16), 0x2001u);
+    EXPECT_EQ(extract(v6, 16, 16), 0x0db8u);
+}
+
+TEST(Bits, HighMask)
+{
+    EXPECT_EQ(high_mask<std::uint32_t>(0), 0u);
+    EXPECT_EQ(high_mask<std::uint32_t>(1), 0x80000000u);
+    EXPECT_EQ(high_mask<std::uint32_t>(24), 0xFFFFFF00u);
+    EXPECT_EQ(high_mask<std::uint32_t>(32), 0xFFFFFFFFu);
+    EXPECT_EQ(high_mask<u128>(128), ~u128{0});
+    EXPECT_EQ(high_mask<u128>(1), u128{1} << 127);
+}
+
+TEST(Bits, PopcountVariantsMatchHardware)
+{
+    workload::Xorshift128 rng(3);
+    for (int i = 0; i < 10000; ++i) {
+        const std::uint64_t v = rng.next64();
+        EXPECT_EQ(popcount64_soft(v), popcount64(v));
+        EXPECT_EQ(popcount64_table(v), popcount64(v));
+    }
+    EXPECT_EQ(popcount64_soft(0), 0);
+    EXPECT_EQ(popcount64_soft(~0ull), 64);
+    EXPECT_EQ(popcount64_table(0), 0);
+    EXPECT_EQ(popcount64_table(~0ull), 64);
+}
+
+TEST(Bits, LowMaskInclusive)
+{
+    EXPECT_EQ(low_mask_inclusive(0), 1ull);
+    EXPECT_EQ(low_mask_inclusive(5), 63ull);
+    EXPECT_EQ(low_mask_inclusive(63), ~0ull);
+}
+
+TEST(Bits, CountLeadingZeros)
+{
+    EXPECT_EQ(count_leading_zeros(std::uint32_t{0}), 32u);
+    EXPECT_EQ(count_leading_zeros(std::uint32_t{1}), 31u);
+    EXPECT_EQ(count_leading_zeros(std::uint32_t{0x80000000u}), 0u);
+    EXPECT_EQ(count_leading_zeros(u128{0}), 128u);
+    EXPECT_EQ(count_leading_zeros(u128{1}), 127u);
+    EXPECT_EQ(count_leading_zeros(u128{1} << 127), 0u);
+    EXPECT_EQ(count_leading_zeros(u128{1} << 64), 63u);
+    EXPECT_EQ(count_leading_zeros(u128{1} << 63), 64u);
+}
+
+TEST(Bits, CommonPrefixLength)
+{
+    EXPECT_EQ(common_prefix_length(0xFF000000u, 0xFF000000u, 32), 32u);
+    EXPECT_EQ(common_prefix_length(0xFF000000u, 0xFE000000u, 32), 7u);
+    EXPECT_EQ(common_prefix_length(0x00000000u, 0x80000000u, 32), 0u);
+    EXPECT_EQ(common_prefix_length(0xFF000000u, 0xFF000001u, 8), 8u);  // capped
+    const u128 a = u128{0x2001} << 112;
+    const u128 b = u128{0x2002} << 112;
+    EXPECT_EQ(common_prefix_length(a, b, 128), 14u);
+}
+
+TEST(Prefix, ParentChildRoundTripProperty)
+{
+    workload::Xorshift128 rng(17);
+    for (int i = 0; i < 5000; ++i) {
+        const unsigned len = 1 + rng.next_below(32);
+        const Prefix4 p{Ipv4Addr{rng.next()}, len};
+        const unsigned b = netbase::bit_at(p.bits(), len - 1);
+        EXPECT_EQ(p.parent().child(b), p);
+        EXPECT_TRUE(p.parent().contains(p));
+        if (len < 32) {
+            EXPECT_EQ(p.child(0).parent(), p);
+            EXPECT_EQ(p.child(1).parent(), p);
+            // The two children tile the parent exactly.
+            EXPECT_EQ(p.child(0).first_address(), p.first_address());
+            EXPECT_EQ(p.child(1).last_address(), p.last_address());
+            EXPECT_EQ(p.child(0).last_address().value() + 1,
+                      p.child(1).first_address().value());
+        }
+    }
+}
+
+TEST(Prefix, CanonicalizationAndContains)
+{
+    const Prefix4 p{Ipv4Addr{0x0A0B0C0D}, 8};
+    EXPECT_EQ(p.bits(), 0x0A000000u);
+    EXPECT_TRUE(p.contains(Ipv4Addr{0x0AFFFFFF}));
+    EXPECT_FALSE(p.contains(Ipv4Addr{0x0B000000}));
+    EXPECT_EQ(p.first_address().value(), 0x0A000000u);
+    EXPECT_EQ(p.last_address().value(), 0x0AFFFFFFu);
+}
+
+TEST(Prefix, NestingAndChildren)
+{
+    const Prefix4 p{Ipv4Addr{0xC0A80000}, 16};
+    EXPECT_EQ(p.child(0).length(), 17u);
+    EXPECT_EQ(p.child(1).bits(), 0xC0A88000u);
+    EXPECT_EQ(p.child(1).parent(), p);
+    EXPECT_TRUE(p.contains(p.child(0)));
+    EXPECT_TRUE(p.contains(p.child(1)));
+    EXPECT_FALSE(p.child(0).contains(p));
+}
+
+TEST(Prefix, ZeroLengthCoversEverything)
+{
+    const Prefix4 def{Ipv4Addr{0xDEADBEEF}, 0};
+    EXPECT_EQ(def.bits(), 0u);
+    EXPECT_TRUE(def.contains(Ipv4Addr{0}));
+    EXPECT_TRUE(def.contains(Ipv4Addr{0xFFFFFFFF}));
+    EXPECT_EQ(def.last_address().value(), 0xFFFFFFFFu);
+}
+
+TEST(Prefix, FullLength)
+{
+    const Prefix4 host{Ipv4Addr{0x01020304}, 32};
+    EXPECT_EQ(host.first_address(), host.last_address());
+    EXPECT_TRUE(host.contains(Ipv4Addr{0x01020304}));
+    EXPECT_FALSE(host.contains(Ipv4Addr{0x01020305}));
+}
+
+TEST(Prefix, ParseFormat)
+{
+    const auto p = parse_prefix4("192.168.1.0/24");
+    ASSERT_TRUE(p);
+    EXPECT_EQ(to_string(*p), "192.168.1.0/24");
+    EXPECT_EQ(to_string(*parse_prefix4("192.168.1.77/24")), "192.168.1.0/24");
+    EXPECT_FALSE(parse_prefix4("192.168.1.0/33"));
+    EXPECT_FALSE(parse_prefix4("192.168.1.0"));
+    EXPECT_FALSE(parse_prefix4("foo/24"));
+
+    const auto p6 = parse_prefix6("2001:db8::/32");
+    ASSERT_TRUE(p6);
+    EXPECT_EQ(to_string(*p6), "2001:db8::/32");
+    EXPECT_FALSE(parse_prefix6("2001:db8::/129"));
+}
+
+TEST(Prefix, Ordering)
+{
+    const Prefix4 a{Ipv4Addr{0x0A000000}, 8};
+    const Prefix4 b{Ipv4Addr{0x0A000000}, 16};
+    const Prefix4 c{Ipv4Addr{0x0B000000}, 8};
+    EXPECT_LT(a, b);
+    EXPECT_LT(b, c);
+    EXPECT_EQ(a, (Prefix4{Ipv4Addr{0x0AFFFFFF}, 8}));
+}
+
+TEST(Xorshift, KnownSequenceIsDeterministic)
+{
+    workload::Xorshift128 a;
+    workload::Xorshift128 b;
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+    // Marsaglia's default-seeded first output.
+    workload::Xorshift128 c;
+    EXPECT_EQ(c.next(), 3701687786u);
+}
+
+TEST(Xorshift, SeedsDiverge)
+{
+    workload::Xorshift128 a(1);
+    workload::Xorshift128 b(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i)
+        if (a.next() == b.next()) ++equal;
+    EXPECT_LT(equal, 3);
+}
+
+TEST(Xorshift, NextBelowInRange)
+{
+    workload::Xorshift128 rng(9);
+    for (int i = 0; i < 10000; ++i) EXPECT_LT(rng.next_below(17), 17u);
+}

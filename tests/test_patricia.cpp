@@ -1,0 +1,186 @@
+// Tests for the Patricia (path-compressed) trie: LPM semantics identical to
+// the binary radix trie, with the compressed-structure invariants holding
+// through arbitrary insert/erase churn.
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "rib/patricia.hpp"
+#include "workload/tablegen.hpp"
+#include "workload/updatefeed.hpp"
+
+using namespace testhelpers;
+using rib::kNoRoute;
+using rib::PatriciaTrie;
+
+namespace {
+Prefix4 pfx(const char* text) { return *netbase::parse_prefix4(text); }
+}  // namespace
+
+TEST(Patricia, EmptyMisses)
+{
+    PatriciaTrie<Ipv4Addr> t;
+    EXPECT_EQ(t.lookup(Ipv4Addr{1}), kNoRoute);
+    EXPECT_EQ(t.node_count(), 0u);
+    EXPECT_TRUE(t.invariants_hold());
+}
+
+TEST(Patricia, SplitOnDivergence)
+{
+    PatriciaTrie<Ipv4Addr> t;
+    t.insert(pfx("10.1.0.0/16"), 1);
+    EXPECT_EQ(t.node_count(), 1u);  // single compressed edge
+    t.insert(pfx("10.2.0.0/16"), 2);
+    // Diverge at bit 13 (10.1 vs 10.2): one split node + two leaves.
+    EXPECT_EQ(t.node_count(), 3u);
+    EXPECT_EQ(t.lookup(*netbase::parse_ipv4("10.1.5.5")), 1);
+    EXPECT_EQ(t.lookup(*netbase::parse_ipv4("10.2.5.5")), 2);
+    EXPECT_EQ(t.lookup(*netbase::parse_ipv4("10.3.5.5")), kNoRoute);
+    EXPECT_TRUE(t.invariants_hold());
+}
+
+TEST(Patricia, RouteAtSplitPoint)
+{
+    PatriciaTrie<Ipv4Addr> t;
+    t.insert(pfx("10.1.0.0/16"), 1);
+    t.insert(pfx("10.0.0.0/8"), 2);  // lands exactly on the split point
+    EXPECT_EQ(t.node_count(), 2u);
+    EXPECT_EQ(t.lookup(*netbase::parse_ipv4("10.1.0.1")), 1);
+    EXPECT_EQ(t.lookup(*netbase::parse_ipv4("10.9.0.1")), 2);
+    EXPECT_TRUE(t.invariants_hold());
+}
+
+TEST(Patricia, InsertReplaces)
+{
+    PatriciaTrie<Ipv4Addr> t;
+    t.insert(pfx("10.0.0.0/8"), 1);
+    t.insert(pfx("10.0.0.0/8"), 9);
+    EXPECT_EQ(t.route_count(), 1u);
+    EXPECT_EQ(t.lookup(*netbase::parse_ipv4("10.1.1.1")), 9);
+}
+
+TEST(Patricia, EraseMergesChains)
+{
+    PatriciaTrie<Ipv4Addr> t;
+    t.insert(pfx("10.0.0.0/8"), 1);
+    t.insert(pfx("10.1.0.0/16"), 2);
+    t.insert(pfx("10.2.0.0/16"), 3);
+    const auto nodes_full = t.node_count();
+    EXPECT_TRUE(t.erase(pfx("10.1.0.0/16")));
+    EXPECT_LT(t.node_count(), nodes_full);
+    EXPECT_EQ(t.lookup(*netbase::parse_ipv4("10.1.1.1")), 1);
+    EXPECT_EQ(t.lookup(*netbase::parse_ipv4("10.2.1.1")), 3);
+    EXPECT_TRUE(t.invariants_hold());
+    EXPECT_FALSE(t.erase(pfx("10.1.0.0/16")));
+    EXPECT_TRUE(t.erase(pfx("10.2.0.0/16")));
+    EXPECT_TRUE(t.erase(pfx("10.0.0.0/8")));
+    EXPECT_EQ(t.node_count(), 0u);
+    EXPECT_EQ(t.route_count(), 0u);
+}
+
+TEST(Patricia, EraseInteriorRouteKeepsSplitNode)
+{
+    PatriciaTrie<Ipv4Addr> t;
+    t.insert(pfx("10.0.0.0/8"), 1);
+    t.insert(pfx("10.1.0.0/16"), 2);
+    t.insert(pfx("10.2.0.0/16"), 3);
+    // The /8 sits above a branching node; erasing it must keep the branch.
+    EXPECT_TRUE(t.erase(pfx("10.0.0.0/8")));
+    EXPECT_EQ(t.lookup(*netbase::parse_ipv4("10.1.1.1")), 2);
+    EXPECT_EQ(t.lookup(*netbase::parse_ipv4("10.9.1.1")), kNoRoute);
+    EXPECT_TRUE(t.invariants_hold());
+}
+
+TEST(Patricia, FindExact)
+{
+    PatriciaTrie<Ipv4Addr> t;
+    t.insert(pfx("10.0.0.0/8"), 1);
+    t.insert(pfx("10.1.2.0/24"), 2);
+    EXPECT_EQ(t.find(pfx("10.0.0.0/8")), 1);
+    EXPECT_EQ(t.find(pfx("10.1.2.0/24")), 2);
+    EXPECT_EQ(t.find(pfx("10.1.0.0/16")), kNoRoute);  // interior split point
+    EXPECT_EQ(t.find(pfx("11.0.0.0/8")), kNoRoute);
+}
+
+TEST(Patricia, MatchesRadixOnCornerTable)
+{
+    const auto routes = corner_case_table();
+    const auto oracle = load(routes);
+    PatriciaTrie<Ipv4Addr> t;
+    t.insert_all(routes);
+    EXPECT_TRUE(t.invariants_hold());
+    EXPECT_EQ(boundary_and_random_mismatches(
+                  oracle, routes, [&](Ipv4Addr a) { return t.lookup(a); }, 200'000),
+              0u);
+}
+
+TEST(Patricia, MatchesRadixOnGeneratedTableAndUsesFewerNodes)
+{
+    workload::TableGenConfig gen;
+    gen.seed = 31;
+    gen.target_routes = 50'000;
+    gen.next_hops = 29;
+    gen.igp_routes = 2'000;
+    const auto routes = workload::generate_table(gen);
+    const auto oracle = load(routes);
+    PatriciaTrie<Ipv4Addr> t;
+    t.insert_all(routes);
+    EXPECT_TRUE(t.invariants_hold());
+    EXPECT_LT(t.node_count(), oracle.node_count() / 2);  // path compression pays
+    EXPECT_EQ(boundary_and_random_mismatches(
+                  oracle, routes, [&](Ipv4Addr a) { return t.lookup(a); }, 300'000),
+              0u);
+}
+
+TEST(Patricia, ChurnPropertyAgainstRadix)
+{
+    // Random interleaved insert/erase churn; the two tries must stay
+    // equivalent and the Patricia invariants must hold throughout.
+    workload::TableGenConfig gen;
+    gen.seed = 33;
+    gen.target_routes = 5'000;
+    gen.next_hops = 9;
+    const auto routes = workload::generate_table(gen);
+    auto radix = load(routes);
+    PatriciaTrie<Ipv4Addr> pat;
+    pat.insert_all(routes);
+
+    workload::UpdateFeedConfig ucfg;
+    ucfg.updates = 4'000;
+    ucfg.next_hops = 9;
+    const auto feed = workload::make_update_feed(routes, ucfg);
+    workload::Xorshift128 rng(3);
+    for (const auto& ev : feed) {
+        if (ev.next_hop == kNoRoute) {
+            EXPECT_EQ(pat.erase(ev.prefix), radix.erase(ev.prefix));
+        } else {
+            pat.insert(ev.prefix, ev.next_hop);
+            radix.insert(ev.prefix, ev.next_hop);
+        }
+        EXPECT_EQ(pat.route_count(), radix.route_count());
+        const auto probe = Ipv4Addr{ev.prefix.bits() | (rng.next() &
+                                                        ~netbase::high_mask<std::uint32_t>(
+                                                            ev.prefix.length()))};
+        ASSERT_EQ(pat.lookup(probe), radix.lookup(probe));
+    }
+    EXPECT_TRUE(pat.invariants_hold());
+    workload::Xorshift128 rng2(4);
+    for (int i = 0; i < 200'000; ++i) {
+        const Ipv4Addr a{rng2.next()};
+        ASSERT_EQ(pat.lookup(a), radix.lookup(a));
+    }
+}
+
+TEST(Patricia, Ipv6)
+{
+    PatriciaTrie<netbase::Ipv6Addr> t;
+    t.insert(*netbase::parse_prefix6("2001:db8::/32"), 1);
+    t.insert(*netbase::parse_prefix6("2001:db8:1::/48"), 2);
+    t.insert(*netbase::parse_prefix6("2001:db8:1::42/128"), 3);
+    EXPECT_EQ(t.lookup(*netbase::parse_ipv6("2001:db8:1::42")), 3);
+    EXPECT_EQ(t.lookup(*netbase::parse_ipv6("2001:db8:1::43")), 2);
+    EXPECT_EQ(t.lookup(*netbase::parse_ipv6("2001:db8:2::1")), 1);
+    EXPECT_EQ(t.lookup(*netbase::parse_ipv6("2001:db9::1")), kNoRoute);
+    EXPECT_TRUE(t.invariants_hold());
+    EXPECT_TRUE(t.erase(*netbase::parse_prefix6("2001:db8:1::/48")));
+    EXPECT_EQ(t.lookup(*netbase::parse_ipv6("2001:db8:1::43")), 1);
+}

@@ -1,0 +1,132 @@
+// Tests for the router integration layer: adjacency interning/recycling,
+// RIB/FIB consistency through add/remove churn, and the 2^16 index limit.
+#include <gtest/gtest.h>
+
+#include "helpers.hpp"
+#include "router/router.hpp"
+#include "workload/tablegen.hpp"
+
+using namespace testhelpers;
+using router::Adjacency;
+using router::Router4;
+
+namespace {
+Prefix4 pfx(const char* text) { return *netbase::parse_prefix4(text); }
+Ipv4Addr ip(const char* text) { return *netbase::parse_ipv4(text); }
+Adjacency<Ipv4Addr> adj(const char* gw, std::string iface)
+{
+    return {ip(gw), std::move(iface)};
+}
+}  // namespace
+
+TEST(Router, ResolveReturnsInstalledAdjacency)
+{
+    Router4 r;
+    r.add_route(pfx("10.0.0.0/8"), adj("192.168.0.1", "eth0"));
+    const auto* a = r.resolve(ip("10.1.2.3"));
+    ASSERT_NE(a, nullptr);
+    EXPECT_EQ(a->gateway, ip("192.168.0.1"));
+    EXPECT_EQ(a->interface, "eth0");
+    EXPECT_EQ(r.resolve(ip("11.0.0.0")), nullptr);
+}
+
+TEST(Router, AdjacencyInterning)
+{
+    Router4 r;
+    r.add_route(pfx("10.0.0.0/8"), adj("192.168.0.1", "eth0"));
+    r.add_route(pfx("20.0.0.0/8"), adj("192.168.0.1", "eth0"));  // same adjacency
+    r.add_route(pfx("30.0.0.0/8"), adj("192.168.0.2", "eth0"));  // different gateway
+    r.add_route(pfx("40.0.0.0/8"), adj("192.168.0.1", "eth1"));  // different iface
+    EXPECT_EQ(r.adjacency_count(), 3u);
+    EXPECT_EQ(r.lookup_index(ip("10.1.1.1")), r.lookup_index(ip("20.1.1.1")));
+    EXPECT_NE(r.lookup_index(ip("10.1.1.1")), r.lookup_index(ip("30.1.1.1")));
+}
+
+TEST(Router, ReplaceRouteSwapsAdjacency)
+{
+    Router4 r;
+    r.add_route(pfx("10.0.0.0/8"), adj("192.168.0.1", "eth0"));
+    r.add_route(pfx("10.0.0.0/8"), adj("192.168.0.9", "eth2"));
+    EXPECT_EQ(r.route_count(), 1u);
+    EXPECT_EQ(r.adjacency_count(), 1u);  // old adjacency released
+    EXPECT_EQ(r.resolve(ip("10.1.1.1"))->interface, "eth2");
+}
+
+TEST(Router, RemoveRouteReleasesAndRecyclesIndices)
+{
+    Router4 r;
+    r.add_route(pfx("10.0.0.0/8"), adj("192.168.0.1", "eth0"));
+    const auto idx1 = r.lookup_index(ip("10.1.1.1"));
+    EXPECT_TRUE(r.remove_route(pfx("10.0.0.0/8")));
+    EXPECT_FALSE(r.remove_route(pfx("10.0.0.0/8")));
+    EXPECT_EQ(r.adjacency_count(), 0u);
+    EXPECT_EQ(r.resolve(ip("10.1.1.1")), nullptr);
+    // A new adjacency reuses the freed 16-bit index.
+    r.add_route(pfx("20.0.0.0/8"), adj("192.168.0.7", "eth3"));
+    EXPECT_EQ(r.lookup_index(ip("20.1.1.1")), idx1);
+}
+
+TEST(Router, LongestPrefixSemanticsThroughChurn)
+{
+    Router4 r;
+    r.add_route(pfx("0.0.0.0/0"), adj("10.0.0.1", "up0"));
+    r.add_route(pfx("10.0.0.0/8"), adj("10.0.0.2", "core0"));
+    r.add_route(pfx("10.1.0.0/16"), adj("10.0.0.3", "core1"));
+    EXPECT_EQ(r.resolve(ip("10.1.2.3"))->interface, "core1");
+    EXPECT_EQ(r.resolve(ip("10.2.2.3"))->interface, "core0");
+    EXPECT_EQ(r.resolve(ip("99.1.1.1"))->interface, "up0");
+    r.remove_route(pfx("10.1.0.0/16"));
+    EXPECT_EQ(r.resolve(ip("10.1.2.3"))->interface, "core0");
+    r.drain();
+}
+
+TEST(Router, MirrorsRibThroughRandomChurn)
+{
+    Router4 r;
+    workload::TableGenConfig gen;
+    gen.seed = 71;
+    gen.target_routes = 8'000;
+    gen.next_hops = 40;
+    const auto routes = workload::generate_table(gen);
+    for (const auto& rt : routes) {
+        r.add_route(rt.prefix,
+                    adj("192.168.0.1", "bundle" + std::to_string(rt.next_hop)));
+    }
+    EXPECT_EQ(r.route_count(), routes.size());
+    EXPECT_EQ(r.adjacency_count(), 40u);
+    // FIB resolves identically to the RIB it mirrors.
+    workload::Xorshift128 rng(5);
+    for (int i = 0; i < 200'000; ++i) {
+        const Ipv4Addr a{rng.next()};
+        ASSERT_EQ(r.lookup_index(a), r.rib().lookup(a));
+    }
+    // Withdraw half, re-check.
+    for (std::size_t i = 0; i < routes.size(); i += 2) r.remove_route(routes[i].prefix);
+    for (int i = 0; i < 100'000; ++i) {
+        const Ipv4Addr a{rng.next()};
+        ASSERT_EQ(r.lookup_index(a), r.rib().lookup(a));
+    }
+}
+
+TEST(Router, AdjacencyTableFullThrows)
+{
+    Router4 r;
+    // 65535 distinct interfaces exhaust the index space; one more throws.
+    for (unsigned i = 1; i <= 0xFFFF; ++i) {
+        const Prefix4 p{Ipv4Addr{i << 12}, 20};
+        r.add_route(p, adj("192.168.0.1", "if" + std::to_string(i)));
+    }
+    EXPECT_THROW(r.add_route(pfx("1.2.3.0/24"), adj("192.168.0.1", "overflow")),
+                 router::AdjacencyTableFull);
+}
+
+TEST(Router, Ipv6Family)
+{
+    router::Router6 r;
+    r.add_route(*netbase::parse_prefix6("2001:db8::/32"),
+                {*netbase::parse_ipv6("fe80::1"), "eth0"});
+    const auto* a = r.resolve(*netbase::parse_ipv6("2001:db8::42"));
+    ASSERT_NE(a, nullptr);
+    EXPECT_EQ(a->interface, "eth0");
+    EXPECT_EQ(r.resolve(*netbase::parse_ipv6("2001:db9::42")), nullptr);
+}

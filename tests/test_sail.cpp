@@ -1,0 +1,126 @@
+// Tests for the SAIL_L baseline: level pivoting, BCN encoding limits, and
+// the §4.8 structural failure mode.
+#include <gtest/gtest.h>
+
+#include "baselines/sail.hpp"
+#include "helpers.hpp"
+#include "workload/tablegen.hpp"
+
+using namespace testhelpers;
+using baselines::Sail;
+using rib::kNoRoute;
+
+namespace {
+Prefix4 pfx(const char* text) { return *netbase::parse_prefix4(text); }
+}  // namespace
+
+TEST(Sail, EmptyTableMisses)
+{
+    const rib::RadixTrie<Ipv4Addr> rib;
+    const Sail s{rib};
+    EXPECT_EQ(s.lookup(Ipv4Addr{0x01020304}), kNoRoute);
+    EXPECT_EQ(s.mixed16_blocks(), 0u);
+    EXPECT_EQ(s.level32_chunks(), 0u);
+    // The full level-16/24 arrays are always allocated (the paper's 44 MiB
+    // footprint is dominated by the 32 MiB level-24 array).
+    EXPECT_GE(s.memory_bytes(), (std::size_t{1} << 25));
+}
+
+TEST(Sail, ShortPrefixResolvesAtLevel16)
+{
+    rib::RadixTrie<Ipv4Addr> rib;
+    rib.insert(pfx("10.0.0.0/8"), 3);
+    const Sail s{rib};
+    EXPECT_EQ(s.mixed16_blocks(), 0u);  // uniform /16 blocks only
+    EXPECT_EQ(s.lookup(*netbase::parse_ipv4("10.200.1.1")), 3);
+    EXPECT_EQ(s.lookup(*netbase::parse_ipv4("11.0.0.0")), kNoRoute);
+}
+
+TEST(Sail, MidPrefixDescendsToLevel24)
+{
+    rib::RadixTrie<Ipv4Addr> rib;
+    rib.insert(pfx("10.0.0.0/8"), 1);
+    rib.insert(pfx("10.1.128.0/17"), 2);
+    const Sail s{rib};
+    EXPECT_EQ(s.mixed16_blocks(), 1u);
+    EXPECT_EQ(s.level32_chunks(), 0u);
+    EXPECT_EQ(s.lookup(*netbase::parse_ipv4("10.1.127.1")), 1);
+    EXPECT_EQ(s.lookup(*netbase::parse_ipv4("10.1.200.1")), 2);
+}
+
+TEST(Sail, LongPrefixCreatesLevel32Chunk)
+{
+    rib::RadixTrie<Ipv4Addr> rib;
+    rib.insert(pfx("10.0.0.0/8"), 1);
+    rib.insert(pfx("10.1.2.128/25"), 2);
+    rib.insert(pfx("10.1.2.200/32"), 3);
+    const Sail s{rib};
+    EXPECT_EQ(s.mixed16_blocks(), 1u);
+    EXPECT_EQ(s.level32_chunks(), 1u);
+    EXPECT_EQ(s.lookup(*netbase::parse_ipv4("10.1.2.127")), 1);
+    EXPECT_EQ(s.lookup(*netbase::parse_ipv4("10.1.2.129")), 2);
+    EXPECT_EQ(s.lookup(*netbase::parse_ipv4("10.1.2.200")), 3);
+    EXPECT_EQ(s.lookup(*netbase::parse_ipv4("10.1.2.201")), 2);
+}
+
+TEST(Sail, ExhaustiveOnDenseSlice)
+{
+    workload::Xorshift128 rng(4242);
+    rib::RadixTrie<Ipv4Addr> rib;
+    rib.insert(pfx("0.0.0.0/0"), 1);
+    for (int i = 0; i < 500; ++i) {
+        const unsigned len = 16 + rng.next_below(17);
+        const std::uint32_t addr = 0x0A140000u | (rng.next() & 0xFFFF);
+        rib.insert(Prefix4{Ipv4Addr{addr}, len}, static_cast<NextHop>(2 + rng.next_below(6)));
+    }
+    const Sail s{rib};
+    EXPECT_EQ(exhaustive_mismatches(
+                  rib, [&](Ipv4Addr a) { return s.lookup(a); }, 0x0A13FF00u, 0x0A150100u),
+              0u);
+}
+
+TEST(Sail, MatchesRadixOnGeneratedTable)
+{
+    workload::TableGenConfig gen;
+    gen.seed = 23;
+    gen.target_routes = 40'000;
+    gen.next_hops = 50;
+    gen.igp_routes = 2'000;
+    const auto routes = workload::generate_table(gen);
+    const auto rib = load(routes);
+    const Sail s{rib};
+    EXPECT_EQ(boundary_and_random_mismatches(
+                  rib, routes, [&](Ipv4Addr a) { return s.lookup(a); }, 300'000),
+              0u);
+}
+
+TEST(Sail, NextHopWiderThan15BitsThrows)
+{
+    rib::RadixTrie<Ipv4Addr> rib;
+    rib.insert(pfx("10.0.0.0/8"), static_cast<NextHop>(0x8000));
+    EXPECT_THROW(Sail{rib}, baselines::StructuralLimit);
+}
+
+TEST(Sail, ChunkIdOverflowThrows)
+{
+    // §4.8: more than 2^15 level-32 chunks overflows the 15-bit chunk id.
+    // Put a /25 into 33,000 distinct /24 blocks.
+    rib::RadixTrie<Ipv4Addr> rib;
+    for (std::uint32_t i = 0; i < 33'000; ++i) {
+        rib.insert(Prefix4{Ipv4Addr{0x0A000000u + (i << 8)}, 25},
+                   static_cast<NextHop>(1 + (i % 5)));
+    }
+    EXPECT_THROW(Sail{rib}, baselines::StructuralLimit);
+}
+
+TEST(Sail, MemoryFootprintScalesWithLevel32Chunks)
+{
+    rib::RadixTrie<Ipv4Addr> rib;
+    rib.insert(pfx("10.0.0.0/8"), 1);
+    const Sail small{rib};
+    rib.insert(pfx("10.1.2.128/25"), 2);
+    rib.insert(pfx("10.2.3.128/25"), 2);
+    const Sail larger{rib};
+    EXPECT_EQ(larger.level32_chunks(), 2u);
+    EXPECT_EQ(larger.memory_bytes() - small.memory_bytes(), 2u * 256 * 2);
+}

@@ -1,0 +1,86 @@
+// Tests for the text table format: round trips, comment/whitespace
+// handling, and precise error reporting.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "helpers.hpp"
+#include "workload/tablegen.hpp"
+#include "workload/tableio.hpp"
+
+using namespace testhelpers;
+using workload::TableIoError;
+
+TEST(TableIo, RoundTripIpv4)
+{
+    workload::TableGenConfig gen;
+    gen.seed = 51;
+    gen.target_routes = 5'000;
+    gen.igp_routes = 200;
+    const auto routes = workload::generate_table(gen);
+    std::stringstream buffer;
+    workload::save_table(buffer, routes);
+    const auto loaded = workload::load_table4(buffer);
+    EXPECT_EQ(loaded, routes);
+}
+
+TEST(TableIo, RoundTripIpv6)
+{
+    workload::TableGen6Config gen;
+    gen.seed = 52;
+    gen.target_routes = 2'000;
+    const auto routes = workload::generate_table6(gen);
+    std::stringstream buffer;
+    workload::save_table(buffer, routes);
+    const auto loaded = workload::load_table6(buffer);
+    EXPECT_EQ(loaded, routes);
+}
+
+TEST(TableIo, CommentsAndWhitespace)
+{
+    std::stringstream in{
+        "# header comment\n"
+        "\n"
+        "  10.0.0.0/8 1  \n"
+        "\t192.168.0.0/16\t42\t# trailing comment\n"
+        "   # indented comment\n"};
+    const auto routes = workload::load_table4(in);
+    ASSERT_EQ(routes.size(), 2u);
+    EXPECT_EQ(routes[0].prefix, *netbase::parse_prefix4("10.0.0.0/8"));
+    EXPECT_EQ(routes[1].next_hop, 42);
+}
+
+TEST(TableIo, ErrorsCarryLineNumbers)
+{
+    const auto expect_error_at = [](const char* text, std::size_t line) {
+        std::stringstream in{text};
+        try {
+            (void)workload::load_table4(in);
+            FAIL() << "expected TableIoError for: " << text;
+        } catch (const TableIoError& e) {
+            EXPECT_EQ(e.line(), line) << e.what();
+        }
+    };
+    expect_error_at("10.0.0.0/8 1\nbogus\n", 2);                  // no next hop
+    expect_error_at("10.0.0.0/33 1\n", 1);                        // bad length
+    expect_error_at("10.0.0.0/8 hop\n", 1);                       // bad hop
+    expect_error_at("10.0.0.0/8 0\n", 1);                         // hop 0 reserved
+    expect_error_at("10.0.0.0/8 70000\n", 1);                     // hop > 2^16-1
+    expect_error_at("# fine\n10.0.0.0/8 1\n300.0.0.0/8 1\n", 3);  // bad octet
+}
+
+TEST(TableIo, MissingFileThrows)
+{
+    EXPECT_THROW((void)workload::load_table4_file("/nonexistent/table.txt"),
+                 std::runtime_error);
+}
+
+TEST(TableIo, FileRoundTrip)
+{
+    const std::string path = testing::TempDir() + "/poptrie_tableio_test.txt";
+    const auto routes = corner_case_table();
+    workload::save_table_file(path, routes);
+    const auto loaded = workload::load_table4_file(path);
+    EXPECT_EQ(loaded, routes);
+    std::remove(path.c_str());
+}

@@ -1,0 +1,134 @@
+// Tests for the Tree Bitmap baseline (16-ary and 64-ary).
+#include <gtest/gtest.h>
+
+#include "baselines/treebitmap.hpp"
+#include "helpers.hpp"
+#include "workload/tablegen.hpp"
+
+using namespace testhelpers;
+using baselines::TreeBitmap16;
+using baselines::TreeBitmap64;
+using rib::kNoRoute;
+
+namespace {
+Prefix4 pfx(const char* text) { return *netbase::parse_prefix4(text); }
+}  // namespace
+
+TEST(TreeBitmap, EmptyTableMisses)
+{
+    const rib::RadixTrie<Ipv4Addr> rib;
+    const TreeBitmap64 t{rib};
+    EXPECT_EQ(t.lookup(Ipv4Addr{0x12345678}), kNoRoute);
+    EXPECT_EQ(t.node_count(), 1u);  // just the zeroed root
+}
+
+TEST(TreeBitmap, InternalBitmapHoldsShortPrefixes)
+{
+    // Lengths 0..k-1 live inside the root node.
+    rib::RadixTrie<Ipv4Addr> rib;
+    rib.insert(pfx("0.0.0.0/0"), 1);
+    rib.insert(pfx("128.0.0.0/1"), 2);
+    rib.insert(pfx("192.0.0.0/3"), 3);
+    const TreeBitmap64 t{rib};
+    EXPECT_EQ(t.node_count(), 1u);
+    EXPECT_EQ(t.lookup(*netbase::parse_ipv4("1.1.1.1")), 1);
+    EXPECT_EQ(t.lookup(*netbase::parse_ipv4("129.1.1.1")), 2);
+    EXPECT_EQ(t.lookup(*netbase::parse_ipv4("193.1.1.1")), 3);
+    EXPECT_EQ(t.lookup(*netbase::parse_ipv4("224.1.1.1")), 2);
+}
+
+TEST(TreeBitmap, StrideBoundaryPrefixLandsInChildNode)
+{
+    // A /6 (16-ary: /4) is length 0 within the child: the boundary case the
+    // internal/external bitmap split gets wrong most easily.
+    rib::RadixTrie<Ipv4Addr> rib;
+    rib.insert(pfx("12.0.0.0/6"), 4);
+    const TreeBitmap64 t64{rib};
+    EXPECT_EQ(t64.node_count(), 2u);
+    EXPECT_EQ(t64.lookup(*netbase::parse_ipv4("12.1.2.3")), 4);
+    EXPECT_EQ(t64.lookup(*netbase::parse_ipv4("16.0.0.0")), kNoRoute);
+    rib::RadixTrie<Ipv4Addr> rib4;
+    rib4.insert(pfx("16.0.0.0/4"), 5);
+    const TreeBitmap16 t16{rib4};
+    EXPECT_EQ(t16.lookup(*netbase::parse_ipv4("17.0.0.0")), 5);
+    EXPECT_EQ(t16.lookup(*netbase::parse_ipv4("32.0.0.0")), kNoRoute);
+}
+
+TEST(TreeBitmap, BacktracksToBestUpstreamMatch)
+{
+    // Descend two nodes deep, fail, and fall back to a match recorded in an
+    // ancestor node.
+    rib::RadixTrie<Ipv4Addr> rib;
+    rib.insert(pfx("10.0.0.0/8"), 1);
+    rib.insert(pfx("10.32.5.0/24"), 2);
+    const TreeBitmap64 t{rib};
+    EXPECT_EQ(t.lookup(*netbase::parse_ipv4("10.32.5.9")), 2);
+    EXPECT_EQ(t.lookup(*netbase::parse_ipv4("10.32.6.9")), 1);   // deep miss
+    EXPECT_EQ(t.lookup(*netbase::parse_ipv4("10.200.1.1")), 1);  // shallow miss
+}
+
+TEST(TreeBitmap, HostRoutes)
+{
+    rib::RadixTrie<Ipv4Addr> rib;
+    rib.insert(pfx("1.2.3.4/32"), 9);
+    rib.insert(pfx("255.255.255.255/32"), 8);
+    for (const auto k16 : {false, true}) {
+        if (k16) {
+            const TreeBitmap16 t{rib};
+            EXPECT_EQ(t.lookup(*netbase::parse_ipv4("1.2.3.4")), 9);
+            EXPECT_EQ(t.lookup(*netbase::parse_ipv4("1.2.3.5")), kNoRoute);
+        } else {
+            const TreeBitmap64 t{rib};
+            EXPECT_EQ(t.lookup(*netbase::parse_ipv4("1.2.3.4")), 9);
+            EXPECT_EQ(t.lookup(*netbase::parse_ipv4("255.255.255.255")), 8);
+            EXPECT_EQ(t.lookup(*netbase::parse_ipv4("255.255.255.254")), kNoRoute);
+        }
+    }
+}
+
+TEST(TreeBitmap, ExhaustiveOnDenseSlice)
+{
+    workload::Xorshift128 rng(4242);
+    rib::RadixTrie<Ipv4Addr> rib;
+    rib.insert(pfx("0.0.0.0/0"), 1);
+    for (int i = 0; i < 500; ++i) {
+        const unsigned len = 16 + rng.next_below(17);
+        const std::uint32_t addr = 0x0A140000u | (rng.next() & 0xFFFF);
+        rib.insert(Prefix4{Ipv4Addr{addr}, len}, static_cast<NextHop>(2 + rng.next_below(6)));
+    }
+    const TreeBitmap64 t64{rib};
+    const TreeBitmap16 t16{rib};
+    EXPECT_EQ(exhaustive_mismatches(
+                  rib, [&](Ipv4Addr a) { return t64.lookup(a); }, 0x0A13FF00u, 0x0A150100u),
+              0u);
+    EXPECT_EQ(exhaustive_mismatches(
+                  rib, [&](Ipv4Addr a) { return t16.lookup(a); }, 0x0A13FF00u, 0x0A150100u),
+              0u);
+}
+
+TEST(TreeBitmap, MatchesRadixOnGeneratedTable)
+{
+    workload::TableGenConfig gen;
+    gen.seed = 21;
+    gen.target_routes = 40'000;
+    gen.next_hops = 33;
+    gen.igp_routes = 2'000;
+    const auto routes = workload::generate_table(gen);
+    const auto rib = load(routes);
+    const TreeBitmap64 t64{rib};
+    const TreeBitmap16 t16{rib};
+    EXPECT_EQ(boundary_and_random_mismatches(
+                  rib, routes, [&](Ipv4Addr a) { return t64.lookup(a); }, 300'000),
+              0u);
+    EXPECT_EQ(boundary_and_random_mismatches(
+                  rib, routes, [&](Ipv4Addr a) { return t16.lookup(a); }, 300'000),
+              0u);
+}
+
+TEST(TreeBitmap, SixtyFourAryUsesFewerNodes)
+{
+    const auto rib = load(corner_case_table());
+    const TreeBitmap64 t64{rib};
+    const TreeBitmap16 t16{rib};
+    EXPECT_LT(t64.node_count(), t16.node_count());
+}

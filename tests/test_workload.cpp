@@ -1,0 +1,267 @@
+// Tests for the workload layer: the substitution generators must actually
+// have the properties DESIGN.md claims for them.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <unordered_set>
+
+#include "helpers.hpp"
+#include "rib/table_stats.hpp"
+#include "workload/datasets.hpp"
+#include "workload/tablegen.hpp"
+#include "workload/trafficgen.hpp"
+#include "workload/updatefeed.hpp"
+#include "workload/zipf.hpp"
+
+using namespace testhelpers;
+
+TEST(TableGen, DeterministicPerSeed)
+{
+    workload::TableGenConfig cfg;
+    cfg.seed = 5;
+    cfg.target_routes = 5'000;
+    const auto a = workload::generate_table(cfg);
+    const auto b = workload::generate_table(cfg);
+    EXPECT_EQ(a, b);
+    cfg.seed = 6;
+    EXPECT_NE(workload::generate_table(cfg), a);
+}
+
+TEST(TableGen, HitsTargetsAndHasNoDuplicates)
+{
+    workload::TableGenConfig cfg;
+    cfg.seed = 7;
+    cfg.target_routes = 30'000;
+    cfg.next_hops = 21;
+    cfg.igp_routes = 1'500;
+    const auto routes = workload::generate_table(cfg);
+    EXPECT_GE(routes.size(), cfg.target_routes);
+    EXPECT_LE(routes.size(), cfg.target_routes + cfg.igp_routes + 10);
+    std::set<Prefix4> prefixes;
+    for (const auto& r : routes) {
+        EXPECT_NE(r.next_hop, rib::kNoRoute);
+        prefixes.insert(r.prefix);
+    }
+    EXPECT_EQ(prefixes.size(), routes.size());
+    const auto stats = rib::compute_stats(routes);
+    EXPECT_LE(stats.distinct_next_hops, 21u);
+    EXPECT_GE(stats.distinct_next_hops, 15u);
+}
+
+TEST(TableGen, LengthDistributionPeaksAt24)
+{
+    workload::TableGenConfig cfg;
+    cfg.seed = 8;
+    cfg.target_routes = 50'000;
+    const auto stats = rib::compute_stats(workload::generate_table(cfg));
+    // /24 is the modal length with roughly half the mass (§4.1).
+    EXPECT_GT(stats.length_histogram[24], stats.prefix_count * 4 / 10);
+    for (unsigned l = 8; l < 24; ++l)
+        EXPECT_LT(stats.length_histogram[l], stats.length_histogram[24]);
+    EXPECT_EQ(stats.longer_than(24), 0u);  // no IGP requested
+}
+
+TEST(TableGen, IgpRoutesAreLongAndClustered)
+{
+    workload::TableGenConfig cfg;
+    cfg.seed = 9;
+    cfg.target_routes = 20'000;
+    cfg.igp_routes = 2'000;
+    const auto routes = workload::generate_table(cfg);
+    const auto stats = rib::compute_stats(routes);
+    EXPECT_GE(stats.longer_than(24), cfg.igp_routes * 9 / 10);
+    // Clustered: the >24 routes occupy far fewer /16 blocks than their count.
+    std::unordered_set<std::uint32_t> blocks;
+    for (const auto& r : routes)
+        if (r.prefix.length() > 24) blocks.insert(r.prefix.bits() >> 16);
+    EXPECT_LT(blocks.size(), 200u);
+}
+
+TEST(TableGen, BinaryRadixDepthExceedsMatchedLength)
+{
+    // The generator must reproduce Fig. 7's effect: deep descents deciding
+    // shallow matches.
+    workload::TableGenConfig cfg;
+    cfg.seed = 10;
+    cfg.target_routes = 30'000;
+    const auto rib = load(workload::generate_table(cfg));
+    workload::Xorshift128 rng(1);
+    std::size_t deeper = 0;
+    std::size_t matched = 0;
+    for (int i = 0; i < 100'000; ++i) {
+        const auto d = rib.lookup_detail(Ipv4Addr{rng.next()});
+        if (!d.matched) continue;
+        ++matched;
+        if (d.radix_depth > d.matched_length) ++deeper;
+    }
+    ASSERT_GT(matched, 50'000u);
+    EXPECT_GT(static_cast<double>(deeper) / static_cast<double>(matched), 0.05);
+}
+
+TEST(SynExpand, ProceduresMatchSpec)
+{
+    rib::RouteList<Ipv4Addr> input{
+        {*netbase::parse_prefix4("10.0.0.0/14"), 3},
+        {*netbase::parse_prefix4("10.32.0.0/20"), 4},
+        {*netbase::parse_prefix4("10.64.5.0/24"), 5},
+        {*netbase::parse_prefix4("10.64.6.1/32"), 6},
+    };
+    const auto syn1 = workload::syn_expand(input, 1);
+    // /14 -> 4 pieces, /20 -> 2, /24 untouched (eligibility caps at /23, see
+    // header), /32 untouched.
+    EXPECT_EQ(syn1.size(), 4u + 2u + 1u + 1u);
+    const auto syn2 = workload::syn_expand(input, 2);
+    // /14 -> 8, /20 -> 4, /24 -> 2 (SYN2 splits /24s; SYN1 does not), /32
+    // untouched.
+    EXPECT_EQ(syn2.size(), 8u + 4u + 2u + 1u);
+
+    // Pieces tile the original exactly and carry offset next hops.
+    const auto t = load(syn2);
+    std::set<rib::NextHop> hops;
+    t.for_each_route([&](const Prefix4& p, rib::NextHop nh) {
+        if ((*netbase::parse_prefix4("10.0.0.0/14")).contains(p)) {
+            EXPECT_EQ(p.length(), 17u);
+            hops.insert(nh);
+        }
+    });
+    EXPECT_EQ(hops.size(), 8u);  // 8 distinct hops, n + i * max_hop
+}
+
+TEST(SynExpand, TargetSubsampling)
+{
+    workload::TableGenConfig cfg;
+    cfg.seed = 11;
+    cfg.target_routes = 40'000;
+    const auto base = workload::generate_table(cfg);
+    const std::size_t target = 55'000;
+    const auto syn = workload::syn_expand(base, 1, target);
+    EXPECT_NEAR(static_cast<double>(syn.size()), static_cast<double>(target),
+                static_cast<double>(target) * 0.02);
+    // Deterministic.
+    EXPECT_EQ(workload::syn_expand(base, 1, target), syn);
+}
+
+TEST(SynExpand, PreservesCoverageOfSplitSpace)
+{
+    // Every address covered by the original table is still covered, though
+    // possibly by a different (offset) next hop.
+    workload::TableGenConfig cfg;
+    cfg.seed = 12;
+    cfg.target_routes = 5'000;
+    const auto base = workload::generate_table(cfg);
+    const auto syn = workload::syn_expand(base, 2);
+    const auto base_rib = load(base);
+    const auto syn_rib = load(syn);
+    workload::Xorshift128 rng(2);
+    for (int i = 0; i < 100'000; ++i) {
+        const Ipv4Addr a{rng.next()};
+        EXPECT_EQ(base_rib.lookup(a) == rib::kNoRoute, syn_rib.lookup(a) == rib::kNoRoute);
+    }
+}
+
+TEST(Datasets, RegistryMirrorsTableOne)
+{
+    const auto specs = workload::all_ipv4_specs();
+    EXPECT_EQ(specs.size(), 35u);  // 32 RouteViews + 3 REAL
+    EXPECT_EQ(specs[0].name, "REAL-Tier1-A");
+    EXPECT_EQ(specs[0].config.next_hops, 13u);
+    EXPECT_GT(specs[0].config.igp_routes, 0u);
+    std::set<std::string> names;
+    std::set<std::uint64_t> seeds;
+    for (const auto& s : specs) {
+        names.insert(s.name);
+        seeds.insert(s.config.seed);
+    }
+    EXPECT_EQ(names.size(), 35u);
+    EXPECT_EQ(seeds.size(), 35u);
+}
+
+TEST(TableGen6, TargetsAndLengths)
+{
+    workload::TableGen6Config cfg;
+    cfg.seed = 3;
+    const auto routes = workload::generate_table6(cfg);
+    EXPECT_GE(routes.size(), cfg.target_routes * 99 / 100);
+    const auto stats = rib::compute_stats(routes);
+    EXPECT_GT(stats.length_histogram[48], stats.prefix_count / 4);
+    EXPECT_GT(stats.length_histogram[32], stats.prefix_count / 8);
+    EXPECT_LE(stats.max_length, 64u);
+    for (const auto& r : routes) {
+        EXPECT_EQ(netbase::extract(r.prefix.bits(), 0, 3), 1u)
+            << "outside 2000::/3: " << netbase::to_string(r.prefix);
+    }
+}
+
+TEST(Zipf, HeadIsHeavy)
+{
+    const workload::ZipfSampler zipf(10'000, 1.05);
+    workload::Xorshift128 rng(4);
+    std::size_t head = 0;
+    const int n = 100'000;
+    for (int i = 0; i < n; ++i)
+        if (zipf.sample(rng) < 100) ++head;
+    // With alpha ~1, the top 1% of ranks draws a large share.
+    EXPECT_GT(head, static_cast<std::size_t>(n) / 4);
+}
+
+TEST(Trace, DepthMixMatchesConfig)
+{
+    const auto spec = workload::real_renet();
+    auto cfg = spec.config;
+    cfg.target_routes = 40'000;  // scaled for test speed
+    cfg.igp_routes = 4'000;
+    const auto rib = load(workload::generate_table(cfg));
+    workload::TraceConfig tc;
+    tc.distinct_destinations = 30'000;
+    tc.packets = 200'000;
+    const auto trace = workload::make_real_trace_like(rib, tc);
+    ASSERT_EQ(trace.size(), tc.packets);
+    const double d18 = workload::deep_fraction(rib, trace, 18);
+    const double d24 = workload::deep_fraction(rib, trace, 24);
+    // §4.7: 32.5% deeper than 18, 21.8% deeper than 24. Zipf popularity
+    // reweights the distinct-address mix, so allow a generous band.
+    EXPECT_GT(d18, 0.15);
+    EXPECT_LT(d18, 0.55);
+    EXPECT_GT(d24, 0.08);
+    EXPECT_LT(d24, 0.45);
+    EXPECT_GT(d18, d24);
+}
+
+TEST(Trace, HasTemporalLocality)
+{
+    const auto rib = load(corner_case_table());
+    workload::TraceConfig tc;
+    tc.distinct_destinations = 1'000;
+    tc.packets = 50'000;
+    const auto trace = workload::make_real_trace_like(rib, tc);
+    std::size_t same_as_prev = 0;
+    for (std::size_t i = 1; i < trace.size(); ++i)
+        if (trace[i] == trace[i - 1]) ++same_as_prev;
+    EXPECT_GT(static_cast<double>(same_as_prev) / static_cast<double>(trace.size()), 0.3);
+}
+
+TEST(UpdateFeed, MixAndConsistency)
+{
+    workload::TableGenConfig cfg;
+    cfg.seed = 13;
+    cfg.target_routes = 10'000;
+    const auto routes = workload::generate_table(cfg);
+    workload::UpdateFeedConfig ucfg;
+    ucfg.updates = 5'000;
+    const auto feed = workload::make_update_feed(routes, ucfg);
+    ASSERT_EQ(feed.size(), ucfg.updates);
+    std::size_t announces = 0;
+    for (const auto& ev : feed)
+        if (ev.next_hop != rib::kNoRoute) ++announces;
+    EXPECT_NEAR(static_cast<double>(announces) / static_cast<double>(feed.size()),
+                ucfg.announce_fraction, 0.03);
+    // Withdrawals always target prefixes that are present when applied.
+    auto rib = load(routes);
+    for (const auto& ev : feed) {
+        if (ev.next_hop == rib::kNoRoute) {
+            EXPECT_TRUE(rib.erase(ev.prefix)) << netbase::to_string(ev.prefix);
+        } else {
+            rib.insert(ev.prefix, ev.next_hop);
+        }
+    }
+}
