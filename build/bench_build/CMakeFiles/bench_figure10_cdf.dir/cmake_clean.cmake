@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_figure10_cdf"
+  "../bench/bench_figure10_cdf.pdb"
+  "CMakeFiles/bench_figure10_cdf.dir/bench_figure10_cdf.cpp.o"
+  "CMakeFiles/bench_figure10_cdf.dir/bench_figure10_cdf.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure10_cdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

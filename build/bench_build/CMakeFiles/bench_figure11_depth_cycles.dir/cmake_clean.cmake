@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_figure11_depth_cycles"
+  "../bench/bench_figure11_depth_cycles.pdb"
+  "CMakeFiles/bench_figure11_depth_cycles.dir/bench_figure11_depth_cycles.cpp.o"
+  "CMakeFiles/bench_figure11_depth_cycles.dir/bench_figure11_depth_cycles.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure11_depth_cycles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

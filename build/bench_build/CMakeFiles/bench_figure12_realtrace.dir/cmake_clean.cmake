@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_figure12_realtrace"
+  "../bench/bench_figure12_realtrace.pdb"
+  "CMakeFiles/bench_figure12_realtrace.dir/bench_figure12_realtrace.cpp.o"
+  "CMakeFiles/bench_figure12_realtrace.dir/bench_figure12_realtrace.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure12_realtrace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

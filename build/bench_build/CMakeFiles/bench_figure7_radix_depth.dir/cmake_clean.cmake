@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_figure7_radix_depth"
+  "../bench/bench_figure7_radix_depth.pdb"
+  "CMakeFiles/bench_figure7_radix_depth.dir/bench_figure7_radix_depth.cpp.o"
+  "CMakeFiles/bench_figure7_radix_depth.dir/bench_figure7_radix_depth.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure7_radix_depth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

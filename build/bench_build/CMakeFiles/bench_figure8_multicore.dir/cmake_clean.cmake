@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_figure8_multicore"
+  "../bench/bench_figure8_multicore.pdb"
+  "CMakeFiles/bench_figure8_multicore.dir/bench_figure8_multicore.cpp.o"
+  "CMakeFiles/bench_figure8_multicore.dir/bench_figure8_multicore.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure8_multicore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_figure9_datasets"
+  "../bench/bench_figure9_datasets.pdb"
+  "CMakeFiles/bench_figure9_datasets.dir/bench_figure9_datasets.cpp.o"
+  "CMakeFiles/bench_figure9_datasets.dir/bench_figure9_datasets.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_figure9_datasets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

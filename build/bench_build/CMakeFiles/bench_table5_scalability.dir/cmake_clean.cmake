@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table5_scalability"
+  "../bench/bench_table5_scalability.pdb"
+  "CMakeFiles/bench_table5_scalability.dir/bench_table5_scalability.cpp.o"
+  "CMakeFiles/bench_table5_scalability.dir/bench_table5_scalability.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table6_ipv6"
+  "../bench/bench_table6_ipv6.pdb"
+  "CMakeFiles/bench_table6_ipv6.dir/bench_table6_ipv6.cpp.o"
+  "CMakeFiles/bench_table6_ipv6.dir/bench_table6_ipv6.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_ipv6.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

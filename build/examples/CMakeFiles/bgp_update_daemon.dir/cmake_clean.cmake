@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgp_update_daemon.dir/bgp_update_daemon.cpp.o"
+  "CMakeFiles/bgp_update_daemon.dir/bgp_update_daemon.cpp.o.d"
+  "bgp_update_daemon"
+  "bgp_update_daemon.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgp_update_daemon.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

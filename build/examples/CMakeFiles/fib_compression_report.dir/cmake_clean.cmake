@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fib_compression_report.dir/fib_compression_report.cpp.o"
+  "CMakeFiles/fib_compression_report.dir/fib_compression_report.cpp.o.d"
+  "fib_compression_report"
+  "fib_compression_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fib_compression_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipv6_lookup.dir/ipv6_lookup.cpp.o"
+  "CMakeFiles/ipv6_lookup.dir/ipv6_lookup.cpp.o.d"
+  "ipv6_lookup"
+  "ipv6_lookup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipv6_lookup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lpm_repl.dir/lpm_repl.cpp.o"
+  "CMakeFiles/lpm_repl.dir/lpm_repl.cpp.o.d"
+  "lpm_repl"
+  "lpm_repl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lpm_repl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

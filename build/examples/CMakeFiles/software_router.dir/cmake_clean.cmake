@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/software_router.dir/software_router.cpp.o"
+  "CMakeFiles/software_router.dir/software_router.cpp.o.d"
+  "software_router"
+  "software_router.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/software_router.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alloc.dir/alloc/buddy_allocator.cpp.o"
+  "CMakeFiles/alloc.dir/alloc/buddy_allocator.cpp.o.d"
+  "liballoc.a"
+  "liballoc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alloc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/dir24.cpp" "src/CMakeFiles/baselines.dir/baselines/dir24.cpp.o" "gcc" "src/CMakeFiles/baselines.dir/baselines/dir24.cpp.o.d"
+  "/root/repo/src/baselines/dxr.cpp" "src/CMakeFiles/baselines.dir/baselines/dxr.cpp.o" "gcc" "src/CMakeFiles/baselines.dir/baselines/dxr.cpp.o.d"
+  "/root/repo/src/baselines/linear.cpp" "src/CMakeFiles/baselines.dir/baselines/linear.cpp.o" "gcc" "src/CMakeFiles/baselines.dir/baselines/linear.cpp.o.d"
+  "/root/repo/src/baselines/lulea.cpp" "src/CMakeFiles/baselines.dir/baselines/lulea.cpp.o" "gcc" "src/CMakeFiles/baselines.dir/baselines/lulea.cpp.o.d"
+  "/root/repo/src/baselines/sail.cpp" "src/CMakeFiles/baselines.dir/baselines/sail.cpp.o" "gcc" "src/CMakeFiles/baselines.dir/baselines/sail.cpp.o.d"
+  "/root/repo/src/baselines/treebitmap.cpp" "src/CMakeFiles/baselines.dir/baselines/treebitmap.cpp.o" "gcc" "src/CMakeFiles/baselines.dir/baselines/treebitmap.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/netbase.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rib.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baselines.dir/baselines/dir24.cpp.o"
+  "CMakeFiles/baselines.dir/baselines/dir24.cpp.o.d"
+  "CMakeFiles/baselines.dir/baselines/dxr.cpp.o"
+  "CMakeFiles/baselines.dir/baselines/dxr.cpp.o.d"
+  "CMakeFiles/baselines.dir/baselines/linear.cpp.o"
+  "CMakeFiles/baselines.dir/baselines/linear.cpp.o.d"
+  "CMakeFiles/baselines.dir/baselines/lulea.cpp.o"
+  "CMakeFiles/baselines.dir/baselines/lulea.cpp.o.d"
+  "CMakeFiles/baselines.dir/baselines/sail.cpp.o"
+  "CMakeFiles/baselines.dir/baselines/sail.cpp.o.d"
+  "CMakeFiles/baselines.dir/baselines/treebitmap.cpp.o"
+  "CMakeFiles/baselines.dir/baselines/treebitmap.cpp.o.d"
+  "libbaselines.a"
+  "libbaselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

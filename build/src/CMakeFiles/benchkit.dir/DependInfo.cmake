@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/benchkit/cli.cpp" "src/CMakeFiles/benchkit.dir/benchkit/cli.cpp.o" "gcc" "src/CMakeFiles/benchkit.dir/benchkit/cli.cpp.o.d"
+  "/root/repo/src/benchkit/cycles.cpp" "src/CMakeFiles/benchkit.dir/benchkit/cycles.cpp.o" "gcc" "src/CMakeFiles/benchkit.dir/benchkit/cycles.cpp.o.d"
+  "/root/repo/src/benchkit/runner.cpp" "src/CMakeFiles/benchkit.dir/benchkit/runner.cpp.o" "gcc" "src/CMakeFiles/benchkit.dir/benchkit/runner.cpp.o.d"
+  "/root/repo/src/benchkit/stats.cpp" "src/CMakeFiles/benchkit.dir/benchkit/stats.cpp.o" "gcc" "src/CMakeFiles/benchkit.dir/benchkit/stats.cpp.o.d"
+  "/root/repo/src/benchkit/table_printer.cpp" "src/CMakeFiles/benchkit.dir/benchkit/table_printer.cpp.o" "gcc" "src/CMakeFiles/benchkit.dir/benchkit/table_printer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rib.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netbase.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/benchkit.dir/benchkit/cli.cpp.o"
+  "CMakeFiles/benchkit.dir/benchkit/cli.cpp.o.d"
+  "CMakeFiles/benchkit.dir/benchkit/cycles.cpp.o"
+  "CMakeFiles/benchkit.dir/benchkit/cycles.cpp.o.d"
+  "CMakeFiles/benchkit.dir/benchkit/runner.cpp.o"
+  "CMakeFiles/benchkit.dir/benchkit/runner.cpp.o.d"
+  "CMakeFiles/benchkit.dir/benchkit/stats.cpp.o"
+  "CMakeFiles/benchkit.dir/benchkit/stats.cpp.o.d"
+  "CMakeFiles/benchkit.dir/benchkit/table_printer.cpp.o"
+  "CMakeFiles/benchkit.dir/benchkit/table_printer.cpp.o.d"
+  "libbenchkit.a"
+  "libbenchkit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/benchkit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netbase.dir/netbase/ipv4.cpp.o"
+  "CMakeFiles/netbase.dir/netbase/ipv4.cpp.o.d"
+  "CMakeFiles/netbase.dir/netbase/ipv6.cpp.o"
+  "CMakeFiles/netbase.dir/netbase/ipv6.cpp.o.d"
+  "CMakeFiles/netbase.dir/netbase/prefix.cpp.o"
+  "CMakeFiles/netbase.dir/netbase/prefix.cpp.o.d"
+  "libnetbase.a"
+  "libnetbase.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netbase.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/poptrie.dir/poptrie/poptrie.cpp.o"
+  "CMakeFiles/poptrie.dir/poptrie/poptrie.cpp.o.d"
+  "libpoptrie.a"
+  "libpoptrie.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/poptrie.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

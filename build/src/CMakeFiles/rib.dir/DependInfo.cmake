@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rib/aggregate.cpp" "src/CMakeFiles/rib.dir/rib/aggregate.cpp.o" "gcc" "src/CMakeFiles/rib.dir/rib/aggregate.cpp.o.d"
+  "/root/repo/src/rib/patricia.cpp" "src/CMakeFiles/rib.dir/rib/patricia.cpp.o" "gcc" "src/CMakeFiles/rib.dir/rib/patricia.cpp.o.d"
+  "/root/repo/src/rib/radix_trie.cpp" "src/CMakeFiles/rib.dir/rib/radix_trie.cpp.o" "gcc" "src/CMakeFiles/rib.dir/rib/radix_trie.cpp.o.d"
+  "/root/repo/src/rib/table_stats.cpp" "src/CMakeFiles/rib.dir/rib/table_stats.cpp.o" "gcc" "src/CMakeFiles/rib.dir/rib/table_stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/netbase.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rib.dir/rib/aggregate.cpp.o"
+  "CMakeFiles/rib.dir/rib/aggregate.cpp.o.d"
+  "CMakeFiles/rib.dir/rib/patricia.cpp.o"
+  "CMakeFiles/rib.dir/rib/patricia.cpp.o.d"
+  "CMakeFiles/rib.dir/rib/radix_trie.cpp.o"
+  "CMakeFiles/rib.dir/rib/radix_trie.cpp.o.d"
+  "CMakeFiles/rib.dir/rib/table_stats.cpp.o"
+  "CMakeFiles/rib.dir/rib/table_stats.cpp.o.d"
+  "librib.a"
+  "librib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

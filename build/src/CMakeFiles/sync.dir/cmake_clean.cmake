@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sync.dir/sync/ebr.cpp.o"
+  "CMakeFiles/sync.dir/sync/ebr.cpp.o.d"
+  "libsync.a"
+  "libsync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

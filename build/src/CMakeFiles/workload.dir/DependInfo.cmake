@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/datasets.cpp" "src/CMakeFiles/workload.dir/workload/datasets.cpp.o" "gcc" "src/CMakeFiles/workload.dir/workload/datasets.cpp.o.d"
+  "/root/repo/src/workload/tablegen.cpp" "src/CMakeFiles/workload.dir/workload/tablegen.cpp.o" "gcc" "src/CMakeFiles/workload.dir/workload/tablegen.cpp.o.d"
+  "/root/repo/src/workload/tableio.cpp" "src/CMakeFiles/workload.dir/workload/tableio.cpp.o" "gcc" "src/CMakeFiles/workload.dir/workload/tableio.cpp.o.d"
+  "/root/repo/src/workload/trafficgen.cpp" "src/CMakeFiles/workload.dir/workload/trafficgen.cpp.o" "gcc" "src/CMakeFiles/workload.dir/workload/trafficgen.cpp.o.d"
+  "/root/repo/src/workload/updatefeed.cpp" "src/CMakeFiles/workload.dir/workload/updatefeed.cpp.o" "gcc" "src/CMakeFiles/workload.dir/workload/updatefeed.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/netbase.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rib.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

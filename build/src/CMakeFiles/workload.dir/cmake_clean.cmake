@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload.dir/workload/datasets.cpp.o"
+  "CMakeFiles/workload.dir/workload/datasets.cpp.o.d"
+  "CMakeFiles/workload.dir/workload/tablegen.cpp.o"
+  "CMakeFiles/workload.dir/workload/tablegen.cpp.o.d"
+  "CMakeFiles/workload.dir/workload/tableio.cpp.o"
+  "CMakeFiles/workload.dir/workload/tableio.cpp.o.d"
+  "CMakeFiles/workload.dir/workload/trafficgen.cpp.o"
+  "CMakeFiles/workload.dir/workload/trafficgen.cpp.o.d"
+  "CMakeFiles/workload.dir/workload/updatefeed.cpp.o"
+  "CMakeFiles/workload.dir/workload/updatefeed.cpp.o.d"
+  "libworkload.a"
+  "libworkload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

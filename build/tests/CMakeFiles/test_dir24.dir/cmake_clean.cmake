@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dir24.dir/test_dir24.cpp.o"
+  "CMakeFiles/test_dir24.dir/test_dir24.cpp.o.d"
+  "test_dir24"
+  "test_dir24.pdb"
+  "test_dir24[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dir24.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

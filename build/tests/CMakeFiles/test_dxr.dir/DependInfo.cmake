@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_dxr.cpp" "tests/CMakeFiles/test_dxr.dir/test_dxr.cpp.o" "gcc" "tests/CMakeFiles/test_dxr.dir/test_dxr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/poptrie.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/alloc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/sync.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/benchkit.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/rib.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/netbase.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

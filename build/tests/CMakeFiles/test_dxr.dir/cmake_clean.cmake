@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dxr.dir/test_dxr.cpp.o"
+  "CMakeFiles/test_dxr.dir/test_dxr.cpp.o.d"
+  "test_dxr"
+  "test_dxr.pdb"
+  "test_dxr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dxr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lulea.dir/test_lulea.cpp.o"
+  "CMakeFiles/test_lulea.dir/test_lulea.cpp.o.d"
+  "test_lulea"
+  "test_lulea.pdb"
+  "test_lulea[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lulea.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_multiway_batch.dir/test_multiway_batch.cpp.o"
+  "CMakeFiles/test_multiway_batch.dir/test_multiway_batch.cpp.o.d"
+  "test_multiway_batch"
+  "test_multiway_batch.pdb"
+  "test_multiway_batch[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_multiway_batch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

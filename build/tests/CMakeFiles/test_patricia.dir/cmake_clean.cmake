@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_patricia.dir/test_patricia.cpp.o"
+  "CMakeFiles/test_patricia.dir/test_patricia.cpp.o.d"
+  "test_patricia"
+  "test_patricia.pdb"
+  "test_patricia[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_patricia.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

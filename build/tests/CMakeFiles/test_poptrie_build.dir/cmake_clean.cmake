@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_poptrie_build.dir/test_poptrie_build.cpp.o"
+  "CMakeFiles/test_poptrie_build.dir/test_poptrie_build.cpp.o.d"
+  "test_poptrie_build"
+  "test_poptrie_build.pdb"
+  "test_poptrie_build[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_poptrie_build.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_poptrie_concurrent.dir/test_poptrie_concurrent.cpp.o"
+  "CMakeFiles/test_poptrie_concurrent.dir/test_poptrie_concurrent.cpp.o.d"
+  "test_poptrie_concurrent"
+  "test_poptrie_concurrent.pdb"
+  "test_poptrie_concurrent[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_poptrie_concurrent.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_poptrie_lookup.dir/test_poptrie_lookup.cpp.o"
+  "CMakeFiles/test_poptrie_lookup.dir/test_poptrie_lookup.cpp.o.d"
+  "test_poptrie_lookup"
+  "test_poptrie_lookup.pdb"
+  "test_poptrie_lookup[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_poptrie_lookup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

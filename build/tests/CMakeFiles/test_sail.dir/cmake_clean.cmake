@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sail.dir/test_sail.cpp.o"
+  "CMakeFiles/test_sail.dir/test_sail.cpp.o.d"
+  "test_sail"
+  "test_sail.pdb"
+  "test_sail[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tableio.dir/test_tableio.cpp.o"
+  "CMakeFiles/test_tableio.dir/test_tableio.cpp.o.d"
+  "test_tableio"
+  "test_tableio.pdb"
+  "test_tableio[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tableio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

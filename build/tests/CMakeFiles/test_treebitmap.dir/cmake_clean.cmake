@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_treebitmap.dir/test_treebitmap.cpp.o"
+  "CMakeFiles/test_treebitmap.dir/test_treebitmap.cpp.o.d"
+  "test_treebitmap"
+  "test_treebitmap.pdb"
+  "test_treebitmap[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_treebitmap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_netbase[1]_include.cmake")
+include("/root/repo/build/tests/test_buddy[1]_include.cmake")
+include("/root/repo/build/tests/test_ebr[1]_include.cmake")
+include("/root/repo/build/tests/test_radix[1]_include.cmake")
+include("/root/repo/build/tests/test_patricia[1]_include.cmake")
+include("/root/repo/build/tests/test_aggregate[1]_include.cmake")
+include("/root/repo/build/tests/test_poptrie_build[1]_include.cmake")
+include("/root/repo/build/tests/test_poptrie_lookup[1]_include.cmake")
+include("/root/repo/build/tests/test_poptrie_update[1]_include.cmake")
+include("/root/repo/build/tests/test_poptrie_concurrent[1]_include.cmake")
+include("/root/repo/build/tests/test_treebitmap[1]_include.cmake")
+include("/root/repo/build/tests/test_dxr[1]_include.cmake")
+include("/root/repo/build/tests/test_sail[1]_include.cmake")
+include("/root/repo/build/tests/test_lulea[1]_include.cmake")
+include("/root/repo/build/tests/test_dir24[1]_include.cmake")
+include("/root/repo/build/tests/test_multiway_batch[1]_include.cmake")
+include("/root/repo/build/tests/test_ipv6[1]_include.cmake")
+include("/root/repo/build/tests/test_workload[1]_include.cmake")
+include("/root/repo/build/tests/test_tableio[1]_include.cmake")
+include("/root/repo/build/tests/test_router[1]_include.cmake")
+include("/root/repo/build/tests/test_differential[1]_include.cmake")
+include("/root/repo/build/tests/test_benchkit[1]_include.cmake")
