@@ -1,0 +1,40 @@
+// sanitizers/default_options.cpp — baked-in default sanitizer runtime
+// options for test and tool executables.
+//
+// The sanitizer runtimes call these hooks (if defined) before reading the
+// *SAN_OPTIONS environment variables, so the suppression files in this
+// directory are picked up automatically by `ctest` with no environment
+// plumbing — and an explicit environment variable still overrides every
+// default here. The file is only added to executables when the build was
+// configured with POPTRIE_SANITIZE; hooks for runtimes that are not linked
+// are simply never called.
+#ifdef POPTRIE_SANITIZER_SUPP_DIR
+
+extern "C" {
+
+const char* __asan_default_options()
+{
+    return "suppressions=" POPTRIE_SANITIZER_SUPP_DIR "/asan.supp"
+           ":detect_stack_use_after_return=1";
+}
+
+const char* __lsan_default_options()
+{
+    return "suppressions=" POPTRIE_SANITIZER_SUPP_DIR "/lsan.supp";
+}
+
+const char* __ubsan_default_options()
+{
+    return "suppressions=" POPTRIE_SANITIZER_SUPP_DIR "/ubsan.supp"
+           ":print_stacktrace=1:halt_on_error=1";
+}
+
+const char* __tsan_default_options()
+{
+    return "suppressions=" POPTRIE_SANITIZER_SUPP_DIR "/tsan.supp"
+           ":halt_on_error=1:second_deadlock_stack=1";
+}
+
+}  // extern "C"
+
+#endif  // POPTRIE_SANITIZER_SUPP_DIR

@@ -82,6 +82,15 @@ void BuddyAllocator::grow()
     capacity_ *= 2;
 }
 
+std::vector<BuddyAllocator::FreeBlock> BuddyAllocator::free_blocks() const
+{
+    std::vector<FreeBlock> out;
+    for (unsigned k = 0; k < free_lists_.size(); ++k)
+        for (const index_type offset : free_lists_[k])
+            out.push_back({offset, index_type{1} << k});
+    return out;
+}
+
 BuddyAllocator::index_type BuddyAllocator::largest_free_run() const noexcept
 {
     for (auto k = free_lists_.size(); k-- > 0;)

@@ -56,6 +56,29 @@ public:
     /// True if every slot is free (useful as a leak check in tests).
     [[nodiscard]] bool all_free() const noexcept { return used_ == 0; }
 
+    /// One free block, for introspection: `size` slots starting at `offset`
+    /// (`size` is always a power of two and `offset` is `size`-aligned when
+    /// the allocator is consistent — the auditor verifies exactly that).
+    struct FreeBlock {
+        index_type offset = 0;
+        index_type size = 0;
+
+        friend bool operator==(const FreeBlock&, const FreeBlock&) = default;
+    };
+
+    /// Snapshot of every free block, ordered by (size, offset). Control-path
+    /// introspection for `analysis::audit_allocator` and tests; the live
+    /// structure is not exposed.
+    [[nodiscard]] std::vector<FreeBlock> free_blocks() const;
+
+    /// The size in slots a request for `count` slots actually occupies
+    /// (power-of-two rounding). Exposed so the auditor can reconstruct the
+    /// extent of a live run from the count the client allocated with.
+    [[nodiscard]] static index_type block_size_for(index_type count) noexcept
+    {
+        return index_type{1} << order_for(count);
+    }
+
 private:
     static unsigned order_for(index_type count) noexcept;
 

@@ -33,6 +33,10 @@
 #include "sync/atomic_utils.hpp"
 #include "sync/ebr.hpp"
 
+namespace analysis {
+struct AuditAccess;  // analysis/audit.hpp: read-only structural auditor hook
+}
+
 namespace poptrie {
 
 /// Longest-prefix-match FIB compiled from a rib::RadixTrie.
@@ -115,7 +119,9 @@ public:
             index = dindex;
             offset = cfg_.direct_bits;
         } else {
-            index = root_;
+            // Acquire: apply() can republish the root index concurrently
+            // (direct_bits == 0 puts the §3.5 atomic swap on this field).
+            index = psync::load_acquire(root_);
             offset = 0;
         }
         std::uint64_t v = chunk(key, offset);
@@ -169,7 +175,7 @@ public:
                     index[l] = dindex;
                     offset[l] = cfg_.direct_bits;
                 } else {
-                    index[l] = root_;
+                    index[l] = psync::load_acquire(root_);
                     offset[l] = 0;
                 }
                 __builtin_prefetch(&nodes_[index[l]]);
@@ -305,6 +311,11 @@ private:
     std::size_t leaf_count_ = 0;
     UpdateCounters updates_{};
     bool in_update_ = false;
+
+    // The structural auditor (analysis/audit.hpp) reads the private arrays,
+    // allocators, and EBR domain to cross-check them against each other and
+    // against the source RIB; tests also use it for fault injection.
+    friend struct ::analysis::AuditAccess;
 };
 
 using Poptrie4 = Poptrie<netbase::Ipv4Addr>;

@@ -20,9 +20,12 @@ void EbrDomain::retire(std::function<void()> deleter)
 
 std::uint64_t EbrDomain::min_active_epoch() const noexcept
 {
-    // Pairs with the fence in Reader::enter(): after this fence, any reader
-    // that entered before we scan is visible to the scan.
-    std::atomic_thread_fence(std::memory_order_seq_cst);
+    // Pairs with the seq_cst fence in Reader::enter() (see the header's
+    // Dekker argument): after this fence, any reader whose enter-fence
+    // preceded ours is visible to the scan below; a reader whose enter-fence
+    // follows ours will observe every pointer we published before calling
+    // this, so it cannot reach the blocks we are about to free.
+    fence_seq_cst();
     std::uint64_t min_epoch = std::numeric_limits<std::uint64_t>::max();
     const std::lock_guard lock(reader_mutex_);
     for (const auto& slot : slots_) {
@@ -30,6 +33,27 @@ std::uint64_t EbrDomain::min_active_epoch() const noexcept
         if (e != kQuiescent && e < min_epoch) min_epoch = e;
     }
     return min_epoch;
+}
+
+EbrDomain::Diag EbrDomain::diag() const
+{
+    Diag d;
+    d.current_epoch = epoch_.load(std::memory_order_relaxed);
+    d.pending = limbo_.size();
+    if (!limbo_.empty()) {
+        d.oldest_retired_epoch = limbo_.front().epoch;
+        d.newest_retired_epoch = limbo_.back().epoch;
+        for (std::size_t i = 1; i < limbo_.size(); ++i)
+            if (limbo_[i].epoch < limbo_[i - 1].epoch) d.limbo_sorted = false;
+    }
+    const std::lock_guard lock(reader_mutex_);
+    d.registered_readers = slots_.size();
+    for (const auto& slot : slots_) {
+        const auto e = slot.load(std::memory_order_acquire);
+        if (e != kQuiescent && (!d.min_active_epoch || e < *d.min_active_epoch))
+            d.min_active_epoch = e;
+    }
+    return d;
 }
 
 std::size_t EbrDomain::try_reclaim()

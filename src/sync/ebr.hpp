@@ -23,9 +23,26 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <vector>
 
 namespace psync {
+
+// ThreadSanitizer does not model std::atomic_thread_fence (GCC even rejects
+// it under -fsanitize=thread via -Wtsan), so fence-based synchronization
+// would produce false-positive race reports. Under TSan the seq_cst fences
+// below are replaced by seq_cst RMWs on a per-domain dummy atomic: all RMWs
+// on one variable are totally ordered and each reads the value written by
+// its predecessor, so any two of them are linked by happens-before — the
+// same "either the scan sees my slot, or I see the writer's publication"
+// disjunction the fence version provides, and one TSan can see.
+#if defined(__SANITIZE_THREAD__)
+#define POPTRIE_TSAN 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define POPTRIE_TSAN 1
+#endif
+#endif
 
 /// A reclamation domain: one per concurrently-updated structure (or shared).
 /// Reader registration is thread-safe; retire/try_reclaim must be called from
@@ -38,17 +55,32 @@ public:
     class Reader {
     public:
         /// Marks the start of a read-side critical section.
+        ///
+        /// Memory orders (paired with min_active_epoch(), Dekker-style):
+        ///  * the epoch load is relaxed — reading a *stale* (smaller) epoch
+        ///    only makes the writer more conservative, never unsafe, because
+        ///    reclamation requires every active slot to be strictly above the
+        ///    retire epoch;
+        ///  * the slot store is relaxed but must become visible before any
+        ///    read of the protected structure, which the seq_cst fence
+        ///    enforces: it pairs with the seq_cst fence in
+        ///    min_active_epoch(). In the total order of seq_cst fences either
+        ///    our fence comes first — then the writer's scan sees our slot and
+        ///    keeps the retired block — or the writer's fence comes first —
+        ///    then our subsequent structure reads see the writer's
+        ///    replacement pointers, not the retired block.
         void enter() noexcept
         {
-            // Publish the epoch we are entering under. The seq_cst fence
-            // pairs with the writer's fence in min_active_epoch() so the
-            // writer cannot miss us while freeing.
             const auto e = domain_->epoch_.load(std::memory_order_relaxed);
             slot_->store(e, std::memory_order_relaxed);
-            std::atomic_thread_fence(std::memory_order_seq_cst);
+            domain_->fence_seq_cst();
         }
 
-        /// Marks the end of a read-side critical section.
+        /// Marks the end of a read-side critical section. The release store
+        /// orders every read of the protected structure before the slot
+        /// becoming quiescent: when the writer's acquire scan in
+        /// min_active_epoch() observes kQuiescent, all of this section's
+        /// reads happened-before the writer's subsequent free.
         void exit() noexcept { slot_->store(kQuiescent, std::memory_order_release); }
 
     private:
@@ -93,8 +125,41 @@ public:
     /// Objects currently awaiting reclamation (diagnostics).
     [[nodiscard]] std::size_t pending() const noexcept { return limbo_.size(); }
 
+    /// Invariant snapshot for the structural auditor (writer-thread only: it
+    /// reads the writer-private limbo list). See analysis::audit_ebr for the
+    /// checks built on top of it.
+    struct Diag {
+        std::uint64_t current_epoch = 0;
+        /// Smallest epoch any registered reader is currently active under;
+        /// nullopt when every reader is quiescent.
+        std::optional<std::uint64_t> min_active_epoch;
+        std::size_t registered_readers = 0;
+        std::size_t pending = 0;
+        /// Epochs of the oldest/newest retired-but-unreclaimed objects
+        /// (nullopt when limbo is empty).
+        std::optional<std::uint64_t> oldest_retired_epoch;
+        std::optional<std::uint64_t> newest_retired_epoch;
+        /// Limbo must stay ordered by retire epoch (retire() appends and the
+        /// epoch is monotone), or try_reclaim()'s front-only scan would free
+        /// out of order.
+        bool limbo_sorted = true;
+    };
+    [[nodiscard]] Diag diag() const;
+
 private:
     static constexpr std::uint64_t kQuiescent = 0;
+
+    /// The seq_cst fence pairing enter() with min_active_epoch(). Under TSan
+    /// it becomes a seq_cst RMW on fence_sync_ (see the note at the top of
+    /// this header); elsewhere it compiles to a plain fence.
+    void fence_seq_cst() const noexcept
+    {
+#ifdef POPTRIE_TSAN
+        fence_sync_.fetch_add(0, std::memory_order_seq_cst);
+#else
+        std::atomic_thread_fence(std::memory_order_seq_cst);
+#endif
+    }
 
     [[nodiscard]] std::uint64_t min_active_epoch() const noexcept;
 
@@ -104,6 +169,9 @@ private:
     };
 
     std::atomic<std::uint64_t> epoch_{1};  // 0 is reserved for "quiescent"
+#ifdef POPTRIE_TSAN
+    mutable std::atomic<std::uint64_t> fence_sync_{0};  // RMW target, value unused
+#endif
     mutable std::mutex reader_mutex_;
     // Deque of stable-address slots; readers keep pointers into it.
     std::deque<std::atomic<std::uint64_t>> slots_;

@@ -1,0 +1,379 @@
+// Tests for the structural invariant auditor (analysis/audit.hpp): clean
+// tables must audit clean across every configuration and through update
+// churn, and — just as important — injected corruption must be *detected*.
+// An auditor that never fires is indistinguishable from no auditor.
+#include <gtest/gtest.h>
+
+#include <deque>
+#include <optional>
+#include <string_view>
+
+#include "analysis/audit.hpp"
+#include "helpers.hpp"
+#include "poptrie/poptrie.hpp"
+#include "workload/tablegen.hpp"
+#include "workload/updatefeed.hpp"
+
+using namespace testhelpers;
+using analysis::AuditAccess;
+using analysis::AuditOptions;
+using analysis::AuditReport;
+using poptrie::Config;
+using poptrie::Poptrie4;
+using poptrie::Poptrie6;
+
+namespace {
+
+bool has_check(const AuditReport& r, std::string_view name)
+{
+    for (const auto& v : r.violations())
+        if (v.check == name) return true;
+    return false;
+}
+
+/// Indices of every reachable node, BFS order (roots first).
+template <class Addr>
+std::vector<std::uint32_t> reachable_nodes(const poptrie::Poptrie<Addr>& pt)
+{
+    const auto& nodes = AuditAccess::nodes(pt);
+    std::vector<std::uint32_t> out;
+    std::deque<std::uint32_t> queue;
+    if (pt.config().direct_bits == 0) {
+        queue.push_back(AuditAccess::root(pt));
+    } else {
+        for (const std::uint32_t v : AuditAccess::direct(pt))
+            if (!(v & poptrie::Poptrie<Addr>::kDirectLeafBit)) queue.push_back(v);
+    }
+    while (!queue.empty()) {
+        const auto idx = queue.front();
+        queue.pop_front();
+        out.push_back(idx);
+        const auto& n = nodes[idx];
+        const auto nkids = static_cast<unsigned>(netbase::popcount64(n.vector));
+        for (unsigned i = 0; i < nkids; ++i) queue.push_back(n.base1 + i);
+    }
+    return out;
+}
+
+/// First reachable node satisfying `pred`, or nullopt.
+template <class Addr, class Pred>
+std::optional<std::uint32_t> find_node(const poptrie::Poptrie<Addr>& pt, Pred&& pred)
+{
+    for (const auto idx : reachable_nodes(pt))
+        if (pred(AuditAccess::nodes(pt)[idx])) return idx;
+    return std::nullopt;
+}
+
+}  // namespace
+
+TEST(Audit, CleanOnCornerTableAllConfigs)
+{
+    const auto routes = corner_case_table();
+    const auto rib = load(routes);
+    for (const unsigned direct_bits : {0u, 12u, 16u, 18u}) {
+        for (const bool leafvec : {true, false}) {
+            for (const bool aggregate : {true, false}) {
+                Config cfg;
+                cfg.direct_bits = direct_bits;
+                cfg.leaf_compression = leafvec;
+                cfg.route_aggregation = aggregate;
+                const Poptrie4 pt{rib, cfg};
+                const auto report = analysis::audit(pt, rib);
+                EXPECT_TRUE(report.ok())
+                    << "direct_bits=" << direct_bits << " leafvec=" << leafvec
+                    << " aggregate=" << aggregate << "\n"
+                    << report.summary();
+                EXPECT_GT(report.nodes_checked, 0u);
+                EXPECT_GT(report.probes_checked, 0u);
+            }
+        }
+    }
+}
+
+TEST(Audit, CleanOnEmptyTable)
+{
+    for (const unsigned direct_bits : {0u, 16u}) {
+        Config cfg;
+        cfg.direct_bits = direct_bits;
+        const Poptrie4 pt{cfg};
+        const rib::RadixTrie<Ipv4Addr> empty;
+        const auto report = analysis::audit(pt, empty);
+        EXPECT_TRUE(report.ok()) << report.summary();
+    }
+}
+
+TEST(Audit, CleanThroughUpdateChurn)
+{
+    workload::TableGenConfig gen;
+    gen.seed = 7;
+    gen.target_routes = 20'000;
+    gen.next_hops = 31;
+    const auto routes = workload::generate_table(gen);
+    auto rib = load(routes);
+
+    Config cfg;
+    cfg.direct_bits = 16;
+    Poptrie4 pt{rib, cfg};
+    analysis::audit_or_abort(pt, rib);
+
+    workload::UpdateFeedConfig ucfg;
+    ucfg.updates = 1'000;
+    ucfg.next_hops = 31;
+    const auto feed = workload::make_update_feed(routes, ucfg);
+
+    // Cheap structural audit after every single update; full audit with
+    // differential probing every 100.
+    AuditOptions cheap;
+    cheap.random_probes = 32;
+    cheap.max_boundary_routes = 0;
+    std::size_t applied = 0;
+    for (const auto& ev : feed) {
+        pt.apply(rib, ev.prefix, ev.next_hop);
+        ++applied;
+        const auto report = analysis::audit(pt, rib, cheap);
+        ASSERT_TRUE(report.ok()) << "after update " << applied << "\n" << report.summary();
+        if (applied % 100 == 0) analysis::audit_or_abort(pt, rib);
+    }
+    pt.drain();
+    const auto final_report = analysis::audit(pt, rib);
+    EXPECT_TRUE(final_report.ok()) << final_report.summary();
+}
+
+TEST(Audit, CleanIPv6ThroughUpdateChurn)
+{
+    workload::TableGen6Config gen;
+    gen.seed = 3;
+    const auto routes = workload::generate_table6(gen);
+    rib::RadixTrie<netbase::Ipv6Addr> rib;
+    rib.insert_all(routes);
+
+    Config cfg;
+    cfg.direct_bits = 16;
+    Poptrie6 pt{rib, cfg};
+    analysis::audit_or_abort(pt, rib);
+
+    // Address-family-generic churn: withdraw, re-announce, revive.
+    workload::Xorshift128 rng(99);
+    std::vector<bool> live(routes.size(), true);
+    AuditOptions cheap;
+    cheap.random_probes = 32;
+    cheap.max_boundary_routes = 0;
+    for (int i = 0; i < 500; ++i) {
+        const std::size_t j = rng.next_below(static_cast<std::uint32_t>(routes.size()));
+        if (live[j] && rng.next_below(4) == 0) {
+            pt.apply(rib, routes[j].prefix, rib::kNoRoute);
+            live[j] = false;
+        } else {
+            pt.apply(rib, routes[j].prefix, static_cast<NextHop>(1 + rng.next_below(13)));
+            live[j] = true;
+        }
+        const auto report = analysis::audit(pt, rib, cheap);
+        ASSERT_TRUE(report.ok()) << "after update " << i << "\n" << report.summary();
+    }
+    pt.drain();
+    analysis::audit_or_abort(pt, rib);
+}
+
+// ---------------------------------------------------------------------------
+// Fault injection: every class of corruption the auditor claims to cover
+// must actually trip it. All mutations go through AuditAccess on a fresh
+// Poptrie so tests stay independent.
+
+namespace {
+
+Poptrie4 corner_poptrie(unsigned direct_bits = 0)
+{
+    Config cfg;
+    cfg.direct_bits = direct_bits;
+    return Poptrie4{load(corner_case_table()), cfg};
+}
+
+}  // namespace
+
+TEST(AuditFaultInjection, DetectsClearedLeafRunStart)
+{
+    auto pt = corner_poptrie();
+    const auto rib = load(corner_case_table());
+    const auto idx = find_node(pt, [](const Poptrie4::Node& n) {
+        return n.leafvec != 0 && n.vector != ~std::uint64_t{0};
+    });
+    ASSERT_TRUE(idx.has_value());
+    auto& node = AuditAccess::nodes(pt)[*idx];
+    node.leafvec &= node.leafvec - 1;  // clear the first run-start bit
+    const auto report = analysis::audit(pt, rib);
+    EXPECT_FALSE(report.ok());
+    EXPECT_TRUE(has_check(report, "leafvec-first-run-missing") ||
+                has_check(report, "leaf-count-mismatch"))
+        << report.summary();
+}
+
+TEST(AuditFaultInjection, DetectsLeafvecBitOnInternalSlot)
+{
+    auto pt = corner_poptrie();
+    const auto rib = load(corner_case_table());
+    const auto idx =
+        find_node(pt, [](const Poptrie4::Node& n) { return n.vector != 0; });
+    ASSERT_TRUE(idx.has_value());
+    auto& node = AuditAccess::nodes(pt)[*idx];
+    node.leafvec |= node.vector & (~node.vector + 1);  // lowest internal slot
+    const auto report = analysis::audit(pt, rib);
+    EXPECT_FALSE(report.ok());
+    EXPECT_TRUE(has_check(report, "leafvec-overlaps-vector")) << report.summary();
+}
+
+TEST(AuditFaultInjection, DetectsBase1OutOfRange)
+{
+    auto pt = corner_poptrie();
+    const auto rib = load(corner_case_table());
+    const auto idx =
+        find_node(pt, [](const Poptrie4::Node& n) { return n.vector != 0; });
+    ASSERT_TRUE(idx.has_value());
+    AuditAccess::nodes(pt)[*idx].base1 = 0x0FFF'FFFFu;
+    const auto report = analysis::audit(pt, rib);
+    EXPECT_FALSE(report.ok());
+    EXPECT_TRUE(has_check(report, "node-run-out-of-range")) << report.summary();
+}
+
+TEST(AuditFaultInjection, DetectsBase0OutOfRange)
+{
+    auto pt = corner_poptrie();
+    const auto rib = load(corner_case_table());
+    const auto idx =
+        find_node(pt, [](const Poptrie4::Node& n) { return n.leafvec != 0; });
+    ASSERT_TRUE(idx.has_value());
+    AuditAccess::nodes(pt)[*idx].base0 = 0x0FFF'FFFFu;
+    const auto report = analysis::audit(pt, rib);
+    EXPECT_FALSE(report.ok());
+    EXPECT_TRUE(has_check(report, "leaf-run-out-of-range")) << report.summary();
+}
+
+TEST(AuditFaultInjection, DetectsNonMinimalLeafRun)
+{
+    auto pt = corner_poptrie();
+    const auto rib = load(corner_case_table());
+    const auto idx = find_node(pt, [](const Poptrie4::Node& n) {
+        return netbase::popcount64(n.leafvec) >= 2;
+    });
+    ASSERT_TRUE(idx.has_value());
+    const auto& node = AuditAccess::nodes(pt)[*idx];
+    auto& leaves = AuditAccess::leaves(pt);
+    leaves[node.base0 + 1] = leaves[node.base0];
+    const auto report = analysis::audit(pt, rib);
+    EXPECT_FALSE(report.ok());
+    EXPECT_TRUE(has_check(report, "leaf-run-not-minimal")) << report.summary();
+}
+
+TEST(AuditFaultInjection, DetectsLeafValueCorruption)
+{
+    auto pt = corner_poptrie();
+    const auto rib = load(corner_case_table());
+    const auto idx =
+        find_node(pt, [](const Poptrie4::Node& n) { return n.leafvec != 0; });
+    ASSERT_TRUE(idx.has_value());
+    const auto& node = AuditAccess::nodes(pt)[*idx];
+    auto& leaves = AuditAccess::leaves(pt);
+    leaves[node.base0] = static_cast<NextHop>(leaves[node.base0] + 7);
+    const auto report = analysis::audit(pt, rib);
+    EXPECT_FALSE(report.ok());
+    EXPECT_TRUE(has_check(report, "lookup-mismatch") ||
+                has_check(report, "leaf-run-not-minimal"))
+        << report.summary();
+}
+
+TEST(AuditFaultInjection, DetectsVectorCorruption)
+{
+    auto pt = corner_poptrie();
+    const auto rib = load(corner_case_table());
+    const auto idx =
+        find_node(pt, [](const Poptrie4::Node& n) { return n.vector != 0; });
+    ASSERT_TRUE(idx.has_value());
+    AuditAccess::nodes(pt)[*idx].vector ^= 1;
+    EXPECT_FALSE(analysis::audit(pt, rib).ok());
+}
+
+TEST(AuditFaultInjection, DetectsDirectSlotCorruption)
+{
+    auto pt = corner_poptrie(16);
+    const auto rib = load(corner_case_table());
+    auto& direct = AuditAccess::direct(pt);
+    // Leaf payload above the 16-bit next-hop range.
+    direct[0] = Poptrie4::kDirectLeafBit | 0x0001'0000u;
+    auto report = analysis::audit(pt, rib);
+    EXPECT_FALSE(report.ok());
+    EXPECT_TRUE(has_check(report, "direct-leaf-overflow")) << report.summary();
+
+    // Internal index pointing outside the node pool.
+    direct[0] = 0x0FFF'FFFFu;
+    report = analysis::audit(pt, rib);
+    EXPECT_FALSE(report.ok());
+    EXPECT_TRUE(has_check(report, "root-index-out-of-range")) << report.summary();
+}
+
+TEST(AuditFaultInjection, DetectsAliasedSubtree)
+{
+    auto pt = corner_poptrie(16);
+    const auto rib = load(corner_case_table());
+    auto& direct = AuditAccess::direct(pt);
+    // Point two direct slots at the same internal node.
+    std::optional<std::size_t> first;
+    for (std::size_t d = 0; d < direct.size(); ++d) {
+        if (direct[d] & Poptrie4::kDirectLeafBit) continue;
+        if (!first) {
+            first = d;
+        } else {
+            direct[d] = direct[*first];
+            break;
+        }
+    }
+    ASSERT_TRUE(first.has_value());
+    const auto report = analysis::audit(pt, rib);
+    EXPECT_FALSE(report.ok());
+    EXPECT_TRUE(has_check(report, "node-aliased") ||
+                has_check(report, "node-runs-overlap"))
+        << report.summary();
+}
+
+// ---------------------------------------------------------------------------
+// Sub-auditors in isolation.
+
+TEST(AuditEbr, CleanDomainAndRetireFlow)
+{
+    psync::EbrDomain d;
+    EXPECT_TRUE(analysis::audit_ebr(d).ok());
+    auto reader = d.register_reader();
+    int freed = 0;
+    d.retire([&] { ++freed; });
+    EXPECT_TRUE(analysis::audit_ebr(d).ok());
+    {
+        const psync::EbrDomain::Guard g{reader};
+        EXPECT_TRUE(analysis::audit_ebr(d).ok());
+    }
+    d.drain();
+    EXPECT_EQ(freed, 1);
+    EXPECT_TRUE(analysis::audit_ebr(d).ok());
+}
+
+TEST(AuditAllocator, CleanFreshAndAfterChurn)
+{
+    alloc::BuddyAllocator a{256};
+    EXPECT_TRUE(analysis::audit_allocator(a).ok());
+    workload::Xorshift128 rng(5);
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> held;
+    for (int step = 0; step < 3000; ++step) {
+        if (held.empty() || (rng.next() & 1)) {
+            const std::uint32_t want = 1 + rng.next_below(32);
+            if (const auto got = a.allocate(want)) held.emplace_back(*got, want);
+        } else {
+            const auto i = rng.next_below(static_cast<std::uint32_t>(held.size()));
+            a.free(held[i].first, held[i].second);
+            held.erase(held.begin() + i);
+        }
+        if (step % 100 == 0) {
+            const auto report = analysis::audit_allocator(a);
+            ASSERT_TRUE(report.ok()) << report.summary();
+        }
+    }
+    for (const auto& [off, count] : held) a.free(off, count);
+    const auto report = analysis::audit_allocator(a);
+    EXPECT_TRUE(report.ok()) << report.summary();
+}

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "alloc/buddy_allocator.hpp"
+#include "analysis/audit.hpp"
 #include "workload/xorshift.hpp"
 
 using alloc::BuddyAllocator;
@@ -118,5 +119,111 @@ TEST(Buddy, PropertyNoOverlapAndFullCoalesce)
         for (const auto& [off, size] : live) a.free(off, size);
         EXPECT_TRUE(a.all_free());
         EXPECT_EQ(a.largest_free_run(), 256u);
+    }
+}
+
+// --- Edge cases driven through the structural auditor ---------------------
+
+TEST(BuddyEdge, DoubleFreeAssertsInDebugAndAuditsDirtyInRelease)
+{
+    BuddyAllocator a{16};
+    const auto x = a.allocate(4);
+    const auto y = a.allocate(4);
+    const auto z = a.allocate(4);
+    ASSERT_TRUE(x && y && z);
+    a.free(*x, 4);  // legitimate: buddy (*y) is live, so no coalescing
+    EXPECT_DEBUG_DEATH(a.free(*x, 4), "double free");
+#ifdef NDEBUG
+    // Release build: the double free executed in-process — used_ underflowed
+    // while the std::set deduplicated the block, so free+used no longer
+    // covers the pool. The auditor must flag it.
+    const auto report = analysis::audit_allocator(a);
+    EXPECT_FALSE(report.ok());
+    EXPECT_NE(report.summary().find("free-used-capacity-mismatch"), std::string::npos)
+        << report.summary();
+#else
+    // Debug build: the double free died in the forked death-test child; the
+    // parent allocator is untouched and must still audit clean.
+    EXPECT_TRUE(analysis::audit_allocator(a).ok());
+#endif
+}
+
+TEST(BuddyEdge, MisalignedFreeAssertsInDebug)
+{
+    BuddyAllocator a{16};
+    const auto x = a.allocate(4);
+    ASSERT_TRUE(x);
+    EXPECT_DEBUG_DEATH(a.free(*x + 1, 4), "misaligned");
+#ifndef NDEBUG
+    EXPECT_TRUE(analysis::audit_allocator(a).ok());
+#endif
+}
+
+TEST(BuddyEdge, ExhaustionGrowthPathStaysAuditClean)
+{
+    BuddyAllocator a{8};
+    std::vector<BuddyAllocator::index_type> held;
+    // Exhaust the pool with single-slot allocations.
+    while (const auto got = a.allocate(1)) held.push_back(*got);
+    EXPECT_EQ(held.size(), 8u);
+    EXPECT_EQ(a.largest_free_run(), 0u);
+    EXPECT_TRUE(analysis::audit_allocator(a).ok());
+
+    // Grow and verify the new upper half is immediately allocatable as one
+    // max-order block of the old capacity.
+    a.grow();
+    EXPECT_EQ(a.capacity(), 16u);
+    EXPECT_EQ(a.largest_free_run(), 8u);
+    EXPECT_TRUE(analysis::audit_allocator(a).ok());
+    const auto big = a.allocate(8);
+    ASSERT_TRUE(big);
+    EXPECT_EQ(*big % 8, 0u);
+    EXPECT_TRUE(analysis::audit_allocator(a).ok());
+
+    // Free everything; repeated growth must keep coalescing to one block.
+    a.free(*big, 8);
+    for (const auto off : held) a.free(off, 1);
+    EXPECT_TRUE(a.all_free());
+    a.grow();
+    EXPECT_EQ(a.largest_free_run(), 32u);
+    EXPECT_TRUE(analysis::audit_allocator(a).ok());
+}
+
+TEST(BuddyEdge, MaxOrderAllocationUsesWholePool)
+{
+    BuddyAllocator a{64};
+    const auto x = a.allocate(64);
+    ASSERT_TRUE(x);
+    EXPECT_EQ(*x, 0u);
+    EXPECT_EQ(a.used(), 64u);
+    EXPECT_EQ(a.largest_free_run(), 0u);
+    EXPECT_TRUE(analysis::audit_allocator(a).ok());
+    // A request one past capacity (even after rounding) must fail cleanly.
+    EXPECT_FALSE(a.allocate(65).has_value());
+    a.free(*x, 64);
+    EXPECT_TRUE(a.all_free());
+    EXPECT_TRUE(analysis::audit_allocator(a).ok());
+}
+
+// Every returned index is aligned to the rounded (power-of-two) block size,
+// for every request size the poptrie node/leaf pools actually use (1..64
+// covers one full stride's fan-out).
+TEST(BuddyEdge, AlignmentPropertyForAllRequestSizes)
+{
+    for (BuddyAllocator::index_type count = 1; count <= 64; ++count) {
+        BuddyAllocator a{256};
+        const auto block = BuddyAllocator::block_size_for(count);
+        EXPECT_EQ(block, std::bit_ceil(count));
+        std::vector<BuddyAllocator::index_type> held;
+        while (const auto got = a.allocate(count)) {
+            EXPECT_EQ(*got % block, 0u) << "count=" << count;
+            held.push_back(*got);
+        }
+        EXPECT_EQ(held.size(), 256u / block);
+        EXPECT_TRUE(analysis::audit_allocator(a).ok()) << "count=" << count;
+        for (const auto off : held) a.free(off, count);
+        EXPECT_TRUE(a.all_free());
+        EXPECT_EQ(a.largest_free_run(), 256u);
+        EXPECT_TRUE(analysis::audit_allocator(a).ok()) << "count=" << count;
     }
 }

@@ -3,6 +3,7 @@
 // update counters must move, and retired memory must be reclaimed.
 #include <gtest/gtest.h>
 
+#include "analysis/audit.hpp"
 #include "helpers.hpp"
 #include "poptrie/poptrie.hpp"
 #include "workload/tablegen.hpp"
@@ -164,6 +165,8 @@ TEST_P(PoptrieUpdateFeed, StaysEquivalentThroughFeed)
     }
     expect_equivalent(rib, pt, 300'000, 5);
     EXPECT_EQ(pt.update_counters().updates, feed.size());
+    pt.drain();
+    POPTRIE_AUDIT_ASSERT(pt, rib);
 
     // Equivalent to a from-scratch rebuild.
     const Poptrie4 rebuilt{rib, cfg};
@@ -207,6 +210,7 @@ TEST(PoptrieUpdate, WithdrawEverythingReturnsToEmpty)
     EXPECT_EQ(s.leaves, 0u);
     EXPECT_EQ(s.node_pool_used, 0u);
     EXPECT_EQ(s.leaf_pool_used, 0u);
+    POPTRIE_AUDIT_ASSERT(pt, rib);
 }
 
 TEST(PoptrieUpdate, ChurnDoesNotLeakPoolSpace)
@@ -262,6 +266,9 @@ TEST(PoptrieUpdate, FullInsertionMatchesBuild)
         const Ipv4Addr a{rng.next()};
         ASSERT_EQ(pt.lookup(a), rebuilt.lookup(a));
     }
+    pt.drain();
+    POPTRIE_AUDIT_ASSERT(pt, rib);
+    POPTRIE_AUDIT_ASSERT(rebuilt, rib);
 }
 
 TEST(PoptrieUpdate, CountersAccumulate)

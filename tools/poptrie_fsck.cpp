@@ -1,0 +1,249 @@
+// tools/poptrie_fsck.cpp — file-system-check for Poptrie FIBs.
+//
+// Builds a Poptrie from a generated or loaded routing table, runs the full
+// structural audit (analysis/audit.hpp) against the source RIB, optionally
+// replays incremental updates re-auditing along the way, and exits non-zero
+// on any violation. This is the command-line face of the invariant auditor:
+//
+//     poptrie_fsck --family 4 --routes 100000 --updates 1000
+//     poptrie_fsck --family 6 --updates 1000 --audit-every 100
+//     poptrie_fsck --file table.txt --direct-bits 16 --verbose
+//
+// Exit codes: 0 = clean, 1 = violations found, 2 = usage/input error.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "analysis/audit.hpp"
+#include "poptrie/poptrie.hpp"
+#include "rib/radix_trie.hpp"
+#include "workload/tablegen.hpp"
+#include "workload/tableio.hpp"
+#include "workload/updatefeed.hpp"
+#include "workload/xorshift.hpp"
+
+namespace {
+
+struct FsckOptions {
+    int family = 4;
+    std::string file;           // load instead of generating when non-empty
+    std::size_t routes = 100'000;
+    bool routes_set = false;
+    std::uint64_t seed = 1;
+    std::size_t updates = 0;
+    std::size_t audit_every = 0;  // 0: audit only before/after the update run
+    poptrie::Config cfg{};
+    std::size_t probes = 4096;
+    bool verbose = false;
+};
+
+void usage(std::FILE* to)
+{
+    std::fputs(
+        "usage: poptrie_fsck [options]\n"
+        "  --family 4|6       address family (default 4)\n"
+        "  --file PATH        load a table file instead of generating one\n"
+        "  --routes N         generated table size (default 100000 / 20440 for v6)\n"
+        "  --seed S           generator and probe seed (default 1)\n"
+        "  --updates N        apply N incremental updates after the build audit\n"
+        "  --audit-every K    full audit every K updates (default: only at the end)\n"
+        "  --direct-bits S    direct-pointing bits (default 18)\n"
+        "  --basic            disable leaf compression\n"
+        "  --no-aggregate     disable route aggregation\n"
+        "  --probes N         random differential probes per audit (default 4096)\n"
+        "  --verbose          print every audit's coverage summary\n",
+        to);
+}
+
+bool parse_size(const std::string& flag, const char* s, std::size_t& out)
+{
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(s, &end, 10);
+    if (end == s || *end != '\0') {
+        std::fprintf(stderr, "poptrie_fsck: %s: '%s' is not a number\n", flag.c_str(), s);
+        return false;
+    }
+    out = static_cast<std::size_t>(v);
+    return true;
+}
+
+/// Runs one audit; returns its violation count and prints per --verbose.
+template <class Addr>
+std::size_t run_audit(const poptrie::Poptrie<Addr>& pt, const rib::RadixTrie<Addr>& rib,
+                      const FsckOptions& opt, const std::string& stage)
+{
+    analysis::AuditOptions aopt;
+    aopt.random_probes = opt.probes;
+    aopt.seed = opt.seed ^ 0x5DEECE66Dull;
+    const auto report = analysis::audit(pt, rib, aopt);
+    if (!report.ok() || opt.verbose) {
+        std::fprintf(report.ok() ? stdout : stderr, "[%s] %s", stage.c_str(),
+                     report.summary().c_str());
+    }
+    return report.violation_count();
+}
+
+/// Address-family-generic update churn for tables that have no §4.9 feed
+/// generator (IPv6): re-announce existing prefixes with fresh next hops,
+/// withdraw live ones, and revive withdrawn ones.
+template <class Addr>
+std::size_t churn_updates(poptrie::Poptrie<Addr>& pt, rib::RadixTrie<Addr>& rib,
+                          const rib::RouteList<Addr>& routes, const FsckOptions& opt,
+                          std::size_t& violations)
+{
+    workload::Xorshift128 rng(opt.seed * 2654435761u + 7);
+    std::vector<bool> live(routes.size(), true);
+    std::size_t applied = 0;
+    for (std::size_t i = 0; i < opt.updates; ++i) {
+        const std::size_t j = rng.next_below(static_cast<std::uint32_t>(routes.size()));
+        if (live[j] && rng.next_below(4) == 0) {
+            pt.apply(rib, routes[j].prefix, rib::kNoRoute);
+            live[j] = false;
+        } else {
+            const auto hop = static_cast<rib::NextHop>(1 + rng.next_below(419));
+            pt.apply(rib, routes[j].prefix, hop);
+            live[j] = true;
+        }
+        ++applied;
+        if (opt.audit_every != 0 && applied % opt.audit_every == 0)
+            violations += run_audit(pt, rib, opt,
+                                    "update " + std::to_string(applied));
+    }
+    return applied;
+}
+
+template <class Addr>
+int fsck(const rib::RouteList<Addr>& routes, const FsckOptions& opt)
+{
+    rib::RadixTrie<Addr> rib;
+    rib.insert_all(routes);
+    poptrie::Poptrie<Addr> pt{rib, opt.cfg};
+    if (opt.verbose) {
+        const auto s = pt.stats();
+        std::printf("table: %zu routes -> %zu inodes, %zu leaves, %zu direct slots\n",
+                    rib.route_count(), s.internal_nodes, s.leaves, s.direct_slots);
+    }
+
+    std::size_t violations = run_audit(pt, rib, opt, "build");
+
+    if (opt.updates != 0) {
+        std::size_t applied = 0;
+        if constexpr (Addr::kWidth == 32) {
+            workload::UpdateFeedConfig ucfg;
+            ucfg.seed = opt.seed + 13;
+            ucfg.updates = opt.updates;
+            const auto feed = workload::make_update_feed(routes, ucfg);
+            for (const auto& ev : feed) {
+                pt.apply(rib, ev.prefix, ev.next_hop);
+                ++applied;
+                if (opt.audit_every != 0 && applied % opt.audit_every == 0)
+                    violations += run_audit(pt, rib, opt,
+                                            "update " + std::to_string(applied));
+            }
+        } else {
+            applied = churn_updates(pt, rib, routes, opt, violations);
+        }
+        violations += run_audit(pt, rib, opt, "after " + std::to_string(applied) + " updates");
+        pt.drain();
+        violations += run_audit(pt, rib, opt, "after drain");
+    }
+
+    if (violations != 0) {
+        std::fprintf(stderr, "poptrie_fsck: %zu violation(s)\n", violations);
+        return 1;
+    }
+    std::puts("poptrie_fsck: clean");
+    return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv)
+{
+    FsckOptions opt;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        const auto value = [&]() -> const char* {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "poptrie_fsck: %s needs a value\n", arg.c_str());
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--family") {
+            opt.family = std::atoi(value());
+            if (opt.family != 4 && opt.family != 6) {
+                std::fprintf(stderr, "poptrie_fsck: --family must be 4 or 6\n");
+                return 2;
+            }
+        } else if (arg == "--file") {
+            opt.file = value();
+        } else if (arg == "--routes") {
+            if (!parse_size(arg, value(), opt.routes)) return 2;
+            opt.routes_set = true;
+        } else if (arg == "--seed") {
+            std::size_t s = 0;
+            if (!parse_size(arg, value(), s)) return 2;
+            opt.seed = s;
+        } else if (arg == "--updates") {
+            if (!parse_size(arg, value(), opt.updates)) return 2;
+        } else if (arg == "--audit-every") {
+            if (!parse_size(arg, value(), opt.audit_every)) return 2;
+        } else if (arg == "--direct-bits") {
+            std::size_t s = 0;
+            if (!parse_size(arg, value(), s)) return 2;
+            // The direct table has 2^s four-byte slots; past 24 bits (64 MiB)
+            // a typo would try to allocate the machine away.
+            if (s > 24) {
+                std::fprintf(stderr, "poptrie_fsck: --direct-bits must be 0..24\n");
+                return 2;
+            }
+            opt.cfg.direct_bits = static_cast<unsigned>(s);
+        } else if (arg == "--basic") {
+            opt.cfg.leaf_compression = false;
+        } else if (arg == "--no-aggregate") {
+            opt.cfg.route_aggregation = false;
+        } else if (arg == "--probes") {
+            if (!parse_size(arg, value(), opt.probes)) return 2;
+        } else if (arg == "--verbose") {
+            opt.verbose = true;
+        } else if (arg == "--help" || arg == "-h") {
+            usage(stdout);
+            return 0;
+        } else {
+            std::fprintf(stderr, "poptrie_fsck: unknown option %s\n", arg.c_str());
+            usage(stderr);
+            return 2;
+        }
+    }
+
+    try {
+        if (opt.family == 4) {
+            rib::RouteList<netbase::Ipv4Addr> routes;
+            if (!opt.file.empty()) {
+                routes = workload::load_table4_file(opt.file);
+            } else {
+                workload::TableGenConfig gen;
+                gen.seed = opt.seed;
+                gen.target_routes = opt.routes_set ? opt.routes : 100'000;
+                routes = workload::generate_table(gen);
+            }
+            return fsck(routes, opt);
+        }
+        rib::RouteList<netbase::Ipv6Addr> routes;
+        if (!opt.file.empty()) {
+            routes = workload::load_table6_file(opt.file);
+        } else {
+            workload::TableGen6Config gen;
+            gen.seed = opt.seed;
+            if (opt.routes_set) gen.target_routes = opt.routes;
+            routes = workload::generate_table6(gen);
+        }
+        return fsck(routes, opt);
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "poptrie_fsck: %s\n", e.what());
+        return 2;
+    }
+}
