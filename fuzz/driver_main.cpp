@@ -1,0 +1,185 @@
+// fuzz/driver_main.cpp — standalone driver for the fuzz harnesses.
+//
+// The harnesses export the canonical libFuzzer entry point
+// (LLVMFuzzerTestOneInput). When the toolchain provides libFuzzer (clang,
+// -DPOPTRIE_FUZZ=ON) the harness links against -fsanitize=fuzzer and this
+// file is not compiled. Everywhere else — notably the GCC-only CI image and
+// the default build — this driver supplies a main() that speaks the same
+// command-line dialect, so scripts and ctest entries work against either
+// engine:
+//
+//     fuzz_parser -runs=0 corpus/parser corpus/regressions/fuzz_parser
+//         replay every file in the given files/directories once and exit
+//         non-zero if any of them crashes the harness (regression mode;
+//         crashes abort(), so the exit code comes from the crash itself)
+//
+//     fuzz_parser -max_total_time=60 -seed=7 corpus/parser
+//         replay the corpus, then fuzz: generate mutated inputs from the
+//         corpus (and from scratch) for 60 seconds (smoke mode)
+//
+//     fuzz_parser -runs=10000 corpus/parser
+//         same, but bounded by execution count instead of wall clock
+//
+// The built-in mutator is deliberately simple (bit flips, byte edits,
+// truncate/extend, splice, interesting-integer overwrite): the structure
+// decoding in common.hpp is tolerant by construction, so even naive byte
+// mutations explore real route-table shapes. It is not a substitute for
+// coverage guidance — it is the portable floor that keeps the harnesses
+// exercised on every toolchain.
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size);
+
+namespace {
+
+namespace fs = std::filesystem;
+
+using Input = std::vector<std::uint8_t>;
+
+constexpr std::size_t kMaxLen = 1 << 14;  // matches libFuzzer's default ballpark
+
+Input read_file(const fs::path& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    return Input(std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>());
+}
+
+// Collects regular files from a file-or-directory argument (one level of
+// recursion is enough for corpus layouts; libFuzzer behaves the same way).
+void collect(const fs::path& arg, std::vector<fs::path>& out)
+{
+    std::error_code ec;
+    if (fs::is_directory(arg, ec)) {
+        for (const auto& entry : fs::recursive_directory_iterator(arg, ec))
+            if (entry.is_regular_file()) out.push_back(entry.path());
+        std::sort(out.begin(), out.end());
+    } else if (fs::is_regular_file(arg, ec)) {
+        out.push_back(arg);
+    } else {
+        std::fprintf(stderr, "driver: ignoring missing corpus path %s\n", arg.c_str());
+    }
+}
+
+void mutate(Input& data, std::mt19937_64& rng)
+{
+    const auto r = [&](std::uint64_t bound) {
+        return static_cast<std::size_t>(rng() % (bound == 0 ? 1 : bound));
+    };
+    switch (r(6)) {
+    case 0:  // flip a bit
+        if (!data.empty()) data[r(data.size())] ^= std::uint8_t(1u << r(8));
+        break;
+    case 1:  // overwrite a byte
+        if (!data.empty()) data[r(data.size())] = std::uint8_t(rng());
+        break;
+    case 2:  // insert a run of random bytes
+        if (data.size() < kMaxLen) {
+            const std::size_t n = 1 + r(8);
+            const std::size_t at = r(data.size() + 1);
+            Input run(n);
+            for (auto& b : run) b = std::uint8_t(rng());
+            data.insert(data.begin() + static_cast<std::ptrdiff_t>(at), run.begin(), run.end());
+        }
+        break;
+    case 3:  // erase a run
+        if (!data.empty()) {
+            const std::size_t at = r(data.size());
+            const std::size_t n = 1 + r(std::min<std::size_t>(16, data.size() - at));
+            data.erase(data.begin() + static_cast<std::ptrdiff_t>(at),
+                       data.begin() + static_cast<std::ptrdiff_t>(at + n));
+        }
+        break;
+    case 4: {  // overwrite with an "interesting" integer
+        static constexpr std::uint64_t kInteresting[] = {0,    1,    0x7F, 0x80,  0xFF,
+                                                         0x100, 0x7FFF, 0xFFFF, ~0ull};
+        const std::uint64_t v = kInteresting[r(sizeof(kInteresting) / sizeof(std::uint64_t))];
+        const std::size_t width = 1 + r(8);
+        if (data.size() >= width) {
+            const std::size_t at = r(data.size() - width + 1);
+            std::memcpy(data.data() + at, &v, width);
+        }
+        break;
+    }
+    default:  // duplicate a chunk of the input onto its end (self-splice)
+        if (!data.empty() && data.size() < kMaxLen) {
+            const std::size_t at = r(data.size());
+            const std::size_t n = 1 + r(std::min<std::size_t>(32, data.size() - at));
+            data.insert(data.end(), data.begin() + static_cast<std::ptrdiff_t>(at),
+                        data.begin() + static_cast<std::ptrdiff_t>(at + n));
+        }
+        break;
+    }
+    if (data.size() > kMaxLen) data.resize(kMaxLen);
+}
+
+}  // namespace
+
+int main(int argc, char** argv)
+{
+    long long runs = -1;           // -1: unlimited (bounded by time, if given)
+    long long max_total_time = 0;  // seconds; 0: no time bound
+    std::uint64_t seed = 0x9E3779B97F4A7C15ull;
+    std::vector<fs::path> corpus_files;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("-runs=", 0) == 0) {
+            runs = std::atoll(arg.c_str() + 6);
+        } else if (arg.rfind("-max_total_time=", 0) == 0) {
+            max_total_time = std::atoll(arg.c_str() + 16);
+        } else if (arg.rfind("-seed=", 0) == 0) {
+            seed = static_cast<std::uint64_t>(std::atoll(arg.c_str() + 6));
+        } else if (!arg.empty() && arg[0] == '-') {
+            // Unknown libFuzzer-style flags are accepted and ignored so that
+            // one CI recipe drives both engines.
+            std::fprintf(stderr, "driver: ignoring flag %s\n", arg.c_str());
+        } else {
+            collect(arg, corpus_files);
+        }
+    }
+
+    // Phase 1: regression replay. Every corpus input runs exactly once; a
+    // harness failure aborts the process, so reaching the end means clean.
+    std::vector<Input> corpus;
+    corpus.reserve(corpus_files.size());
+    for (const auto& path : corpus_files) {
+        Input data = read_file(path);
+        std::fprintf(stderr, "driver: replay %s (%zu bytes)\n", path.c_str(), data.size());
+        (void)LLVMFuzzerTestOneInput(data.data(), data.size());
+        if (data.size() <= kMaxLen) corpus.push_back(std::move(data));
+    }
+    std::fprintf(stderr, "driver: replayed %zu corpus input(s)\n", corpus.size());
+
+    // Phase 2: mutation fuzzing, when asked for via -runs / -max_total_time.
+    if (runs < 0 && max_total_time == 0) return 0;  // replay-only (e.g. -runs=0)
+    std::mt19937_64 rng(seed);
+    const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(max_total_time);
+    long long executed = 0;
+    while ((runs < 0 || executed < runs) &&
+           (max_total_time == 0 || std::chrono::steady_clock::now() < deadline)) {
+        Input data;
+        if (!corpus.empty() && (rng() & 3u) != 0) {
+            data = corpus[rng() % corpus.size()];
+        } else {
+            data.resize(1 + rng() % 64);
+            for (auto& b : data) b = std::uint8_t(rng());
+        }
+        const unsigned stacked = 1 + unsigned(rng() % 4);
+        for (unsigned m = 0; m < stacked; ++m) mutate(data, rng);
+        (void)LLVMFuzzerTestOneInput(data.data(), data.size());
+        ++executed;
+        if ((executed & 0x3FF) == 0)
+            std::fprintf(stderr, "driver: %lld execs\n", executed);
+    }
+    std::fprintf(stderr, "driver: done, %lld fuzz exec(s)\n", executed);
+    return 0;
+}

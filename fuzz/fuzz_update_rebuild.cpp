@@ -1,0 +1,92 @@
+// fuzz/fuzz_update_rebuild.cpp — harness 2: incremental update ≡ full rebuild.
+//
+// §3.5's claim is that apply() patches the live FIB into a state that answers
+// every lookup exactly like a FIB compiled from scratch from the updated RIB
+// (when route aggregation is on, the *arrays* may differ — the incrementally
+// updated table is allowed to be less tightly compressed — but the lookup
+// relation must be identical). This harness replays a fuzz-decoded op
+// sequence into one Poptrie via apply() and, at fuzz-chosen checkpoints,
+// rebuilds a second Poptrie from the same RIB with the same configuration,
+// then compares the two over every route boundary and a set of fuzz-chosen
+// addresses. The structural auditor runs on the incrementally updated table
+// at every checkpoint, so allocator/EBR corruption shows up even when the
+// lookup relation still holds.
+#include <string>
+#include <vector>
+
+#include "analysis/audit.hpp"
+#include "fuzz/common.hpp"
+#include "poptrie/poptrie.hpp"
+#include "rib/radix_trie.hpp"
+
+namespace {
+
+constexpr const char* kHarness = "fuzz_update_rebuild";
+
+template <class Addr>
+void check_equivalent(const poptrie::Poptrie<Addr>& incremental,
+                      const rib::RadixTrie<Addr>& rib, const poptrie::Config& cfg,
+                      std::vector<typename Addr::value_type> probes, std::size_t at_op)
+{
+    const poptrie::Poptrie<Addr> rebuilt{rib, cfg};
+    fuzz::boundary_probes(rib.routes(), probes);
+    probes.push_back(0);
+    probes.push_back(~typename Addr::value_type{0});
+    for (const auto key : probes) {
+        const Addr a{key};
+        const auto inc = incremental.lookup(a);
+        const auto full = rebuilt.lookup(a);
+        const auto want = rib.lookup(a);
+        if (inc != full || inc != want)
+            fuzz::fail(kHarness, "incremental/rebuild divergence",
+                       "after op " + std::to_string(at_op) + " at " + netbase::to_string(a) +
+                           ": incremental=" + std::to_string(inc) +
+                           " rebuilt=" + std::to_string(full) +
+                           " rib=" + std::to_string(want));
+    }
+    analysis::AuditOptions aopt;
+    aopt.random_probes = 256;
+    const auto report = analysis::audit(incremental, rib, aopt);
+    if (!report.ok())
+        fuzz::fail(kHarness, "audit failure on incrementally updated table",
+                   "after op " + std::to_string(at_op) + "\n" + report.summary());
+}
+
+template <class Addr>
+void run(fuzz::ByteReader& in, const poptrie::Config& cfg, unsigned checkpoint_mask)
+{
+    const auto ops = fuzz::decode_ops<Addr>(in);
+
+    std::vector<typename Addr::value_type> extra_probes;
+    while (in.remaining() >= sizeof(typename Addr::value_type))
+        extra_probes.push_back(fuzz::read_key<Addr>(in));
+
+    rib::RadixTrie<Addr> rib;
+    poptrie::Poptrie<Addr> pt{cfg};
+    std::size_t i = 0;
+    for (const auto& op : ops) {
+        pt.apply(rib, op.prefix, op.next_hop);
+        ++i;
+        // Checkpoint cadence is fuzz-chosen (a power-of-two mask): some
+        // inputs compare after every op, others only at the end, so both
+        // "fresh damage" and "accumulated drift" schedules are explored.
+        if ((i & checkpoint_mask) == 0) check_equivalent(pt, rib, cfg, extra_probes, i);
+    }
+    check_equivalent(pt, rib, cfg, extra_probes, i);
+    pt.drain();
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size)
+{
+    fuzz::ByteReader in(data, size);
+    const auto cfg = fuzz::decode_config(in.u8());
+    const std::uint8_t sel = in.u8();
+    const unsigned checkpoint_mask = (1u << (sel & 0x7u)) - 1;  // 0,1,3,...,127
+    if ((sel & 0x80u) != 0)
+        run<netbase::Ipv6Addr>(in, cfg, checkpoint_mask);
+    else
+        run<netbase::Ipv4Addr>(in, cfg, checkpoint_mask);
+    return 0;
+}

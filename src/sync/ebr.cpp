@@ -14,6 +14,8 @@ EbrDomain::Reader EbrDomain::register_reader()
 
 void EbrDomain::retire(std::function<void()> deleter)
 {
+    // order: relaxed — writer-thread-only read of a counter only the writer
+    // advances; no cross-thread edge is needed to timestamp the retirement.
     const auto e = epoch_.load(std::memory_order_relaxed);
     limbo_.push_back({e, std::move(deleter)});
 }
@@ -29,6 +31,8 @@ std::uint64_t EbrDomain::min_active_epoch() const noexcept
     std::uint64_t min_epoch = std::numeric_limits<std::uint64_t>::max();
     const std::lock_guard lock(reader_mutex_);
     for (const auto& slot : slots_) {
+        // order: acquire — pairs with exit()'s release store: observed
+        // kQuiescent means that section's reads happened-before our frees.
         const auto e = slot.load(std::memory_order_acquire);
         if (e != kQuiescent && e < min_epoch) min_epoch = e;
     }
@@ -38,6 +42,8 @@ std::uint64_t EbrDomain::min_active_epoch() const noexcept
 EbrDomain::Diag EbrDomain::diag() const
 {
     Diag d;
+    // order: relaxed — diagnostic snapshot on the writer thread; the value
+    // is reported, never used to justify a free.
     d.current_epoch = epoch_.load(std::memory_order_relaxed);
     d.pending = limbo_.size();
     if (!limbo_.empty()) {
@@ -49,6 +55,8 @@ EbrDomain::Diag EbrDomain::diag() const
     const std::lock_guard lock(reader_mutex_);
     d.registered_readers = slots_.size();
     for (const auto& slot : slots_) {
+        // order: acquire — same pairing as min_active_epoch()'s scan, so the
+        // auditor's invariants hold under concurrent readers too.
         const auto e = slot.load(std::memory_order_acquire);
         if (e != kQuiescent && (!d.min_active_epoch || e < *d.min_active_epoch))
             d.min_active_epoch = e;
@@ -61,6 +69,8 @@ std::size_t EbrDomain::try_reclaim()
     // Advance first so that objects retired under the old epoch become
     // reclaimable as soon as current readers (who saw at most the old epoch)
     // leave.
+    // order: acq_rel — release half keeps the bump after the retirements it
+    // covers; acquire half keeps the single-edge RMW pairing with enter().
     epoch_.fetch_add(1, std::memory_order_acq_rel);
     const auto min_active = min_active_epoch();
     std::size_t freed = 0;

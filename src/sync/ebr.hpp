@@ -71,7 +71,11 @@ public:
         ///    replacement pointers, not the retired block.
         void enter() noexcept
         {
+            // order: relaxed — a stale (smaller) epoch only makes the writer
+            // more conservative (see the contract above).
             const auto e = domain_->epoch_.load(std::memory_order_relaxed);
+            // order: relaxed — visibility before structure reads is provided
+            // by the seq_cst fence on the next line, not by this store.
             slot_->store(e, std::memory_order_relaxed);
             domain_->fence_seq_cst();
         }
@@ -81,6 +85,8 @@ public:
         /// becoming quiescent: when the writer's acquire scan in
         /// min_active_epoch() observes kQuiescent, all of this section's
         /// reads happened-before the writer's subsequent free.
+        // order: release — sequences every structure read before the slot
+        // turns quiescent; pairs with the acquire scan in min_active_epoch().
         void exit() noexcept { slot_->store(kQuiescent, std::memory_order_release); }
 
     private:
@@ -155,8 +161,12 @@ private:
     void fence_seq_cst() const noexcept
     {
 #ifdef POPTRIE_TSAN
+        // order: seq_cst — RMWs on one variable are totally ordered, giving
+        // the same either/or disjunction as the fence (header note above).
         fence_sync_.fetch_add(0, std::memory_order_seq_cst);
 #else
+        // order: seq_cst — Dekker-style pairing between the reader's slot
+        // publication and the writer's slot scan; nothing weaker suffices.
         std::atomic_thread_fence(std::memory_order_seq_cst);
 #endif
     }

@@ -32,6 +32,33 @@ TEST(Ipv4, ParseInvalid)
     EXPECT_FALSE(parse_ipv4("1.2.3.0004"));
 }
 
+// One EXPECT per rejected malformed form, grouped by failure class, so a
+// regression names the exact form that started parsing. These mirror the
+// adversarial shapes fuzz_parser generates; anything accepted here must
+// survive a to_string/parse round trip (checked there), so the reject set is
+// the hardening contract.
+TEST(Ipv4, RejectsMalformedForms)
+{
+    // Wrong separator or separator count.
+    EXPECT_FALSE(parse_ipv4("1,2,3,4"));
+    EXPECT_FALSE(parse_ipv4("1.2.3.4."));
+    EXPECT_FALSE(parse_ipv4("...."));
+    EXPECT_FALSE(parse_ipv4(".1.2.3.4"));
+    // Out-of-range or over-wide octets.
+    EXPECT_FALSE(parse_ipv4("999.1.1.1"));
+    EXPECT_FALSE(parse_ipv4("1.2.3.256"));
+    EXPECT_FALSE(parse_ipv4("3000000000.1.1.1"));
+    // Signs, radix prefixes and stray characters are not octets.
+    EXPECT_FALSE(parse_ipv4("+1.2.3.4"));
+    EXPECT_FALSE(parse_ipv4("1.2.3.+4"));
+    EXPECT_FALSE(parse_ipv4("0x1.2.3.4"));
+    EXPECT_FALSE(parse_ipv4("1.2.3.4x"));
+    EXPECT_FALSE(parse_ipv4("1.2 .3.4"));
+    EXPECT_FALSE(parse_ipv4("1.2.\t3.4"));
+    // CIDR notation is not an address.
+    EXPECT_FALSE(parse_ipv4("1.2.3.4/8"));
+}
+
 TEST(Ipv4, FormatRoundTrip)
 {
     workload::Xorshift128 rng(1);
@@ -86,6 +113,31 @@ TEST(Ipv6, ParseInvalid)
     EXPECT_FALSE(parse_ipv6("1:2:3:4:5:6:7:8::"));  // gap with 8 groups
     EXPECT_FALSE(parse_ipv6("g::"));
     EXPECT_FALSE(parse_ipv6("1:"));
+}
+
+TEST(Ipv6, RejectsMalformedForms)
+{
+    // Colon placement.
+    EXPECT_FALSE(parse_ipv6(":1:2:3:4:5:6:7:8"));  // leading single colon
+    EXPECT_FALSE(parse_ipv6("1:2:3:4:5:6:7:8:"));  // trailing single colon
+    EXPECT_FALSE(parse_ipv6("1::2:"));
+    EXPECT_FALSE(parse_ipv6(":::1"));
+    EXPECT_FALSE(parse_ipv6("::1::"));
+    // Group contents.
+    EXPECT_FALSE(parse_ipv6("::g"));
+    EXPECT_FALSE(parse_ipv6("fffff::"));
+    EXPECT_FALSE(parse_ipv6("1:-2::"));
+    EXPECT_FALSE(parse_ipv6(" ::1"));
+    EXPECT_FALSE(parse_ipv6("::1 "));
+    // Embedded IPv4 tails: malformed tail, tail overflowing the group count,
+    // tail anywhere but the end.
+    EXPECT_FALSE(parse_ipv6("::1.2.3.4.5"));
+    EXPECT_FALSE(parse_ipv6("::1.2.3.999"));
+    EXPECT_FALSE(parse_ipv6("1:2:3:4:5:6:7:1.2.3.4"));
+    EXPECT_FALSE(parse_ipv6("1.2.3.4::"));
+    EXPECT_FALSE(parse_ipv6("1.2.3.4"));  // a bare v4 address is not a v6 one
+    // CIDR notation is not an address.
+    EXPECT_FALSE(parse_ipv6("2001:db8::/32"));
 }
 
 TEST(Ipv6, FormatCanonical)
@@ -249,6 +301,32 @@ TEST(Prefix, ParseFormat)
     ASSERT_TRUE(p6);
     EXPECT_EQ(to_string(*p6), "2001:db8::/32");
     EXPECT_FALSE(parse_prefix6("2001:db8::/129"));
+}
+
+TEST(Prefix, RejectsMalformedForms)
+{
+    // Length field problems.
+    EXPECT_FALSE(parse_prefix4("1.2.3.4/"));
+    EXPECT_FALSE(parse_prefix4("1.2.3.4/-1"));
+    EXPECT_FALSE(parse_prefix4("1.2.3.4/+8"));
+    EXPECT_FALSE(parse_prefix4("1.2.3.4/999"));
+    EXPECT_FALSE(parse_prefix4("1.2.3.4/8 "));
+    EXPECT_FALSE(parse_prefix4("1.2.3.4/ 8"));
+    EXPECT_FALSE(parse_prefix4("1.2.3.4/8x"));
+    EXPECT_FALSE(parse_prefix4("1.2.3.4//8"));
+    // Missing or malformed address part.
+    EXPECT_FALSE(parse_prefix4("/24"));
+    EXPECT_FALSE(parse_prefix4("256.0.0.0/8"));
+    // Family confusion.
+    EXPECT_FALSE(parse_prefix4("2001:db8::/32"));
+    EXPECT_FALSE(parse_prefix6("10.0.0.0/8"));
+    EXPECT_FALSE(parse_prefix6("2001:db8::/"));
+    EXPECT_FALSE(parse_prefix6("2001:db8::/12a"));
+    // Boundary lengths that ARE legal must stay accepted.
+    EXPECT_TRUE(parse_prefix4("0.0.0.0/0"));
+    EXPECT_TRUE(parse_prefix4("255.255.255.255/32"));
+    EXPECT_TRUE(parse_prefix6("::/0"));
+    EXPECT_TRUE(parse_prefix6("ffff:ffff:ffff:ffff:ffff:ffff:ffff:ffff/128"));
 }
 
 TEST(Prefix, Ordering)

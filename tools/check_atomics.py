@@ -1,0 +1,273 @@
+#!/usr/bin/env python3
+"""check_atomics.py -- memory-order lint for the poptrie source tree.
+
+The concurrency contract (poptrie.hpp, DESIGN.md par. 3.5) funnels every
+reader/writer interaction through the helpers in src/sync: psync::load_acquire,
+psync::load_relaxed, psync::store_release and the EbrDomain. PR 1 established
+the rule informally; this script enforces it mechanically:
+
+  rule 1 (placement): outside src/sync, no source file may touch the raw
+      atomics vocabulary -- std::atomic, std::atomic_ref, std::memory_order,
+      std::atomic_thread_fence, or the __atomic_* builtins. Shared-state
+      fields are only accessed through the src/sync helpers, so a grep-level
+      appearance of the raw vocabulary elsewhere is a contract leak.
+
+  rule 2 (justification): every explicit std::memory_order_* argument (they
+      all live in src/sync after rule 1) must carry an adjacent `// order:`
+      comment -- same line or one of the two lines above -- explaining why
+      that ordering is sufficient. An unjustified ordering argument is where
+      the next relaxation bug comes from.
+
+Escape hatch: a line (or the line directly above it) containing
+`check-atomics: allow` suppresses rule 1 for that line, for the rare
+legitimate raw atomic outside src/sync (none exist today). Rule 2 has no
+escape hatch on purpose: writing the justification IS the requirement.
+
+Comments and string/char literals are stripped before matching, so prose
+about atomics (this repo has plenty) never trips the lint.
+
+Exit codes: 0 clean, 1 violations found, 2 usage error.
+Usage: check_atomics.py [--order-context N] [--self-test] ROOT...
+       ROOT is a source directory (normally <repo>/src); the sync exemption
+       applies to any file whose path relative to a ROOT starts with "sync".
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import re
+import sys
+import tempfile
+
+SOURCE_SUFFIXES = (".hpp", ".cpp", ".ipp", ".h", ".cc")
+
+RAW_ATOMIC_RE = re.compile(
+    r"\bstd\s*::\s*atomic\b"
+    r"|\bstd\s*::\s*atomic_ref\b"
+    r"|\bstd\s*::\s*memory_order\w*"
+    r"|\bstd\s*::\s*atomic_thread_fence\b"
+    r"|\bstd\s*::\s*atomic_signal_fence\b"
+    r"|\b__atomic_\w+"
+)
+ORDER_ARG_RE = re.compile(r"\bstd\s*::\s*memory_order_\w+")
+# Matches inside extracted comment text (the // or /* marker is stripped).
+ORDER_COMMENT_RE = re.compile(r"\border:")
+ALLOW_RE = re.compile(r"check-atomics:\s*allow")
+
+
+def split_code_and_comment(lines):
+    """Returns parallel lists (code, comment) with literals blanked from code.
+
+    A tiny state machine over //, /* */, "...", '...'; good enough for this
+    codebase (no raw strings near atomics, no trigraphs). Preprocessor lines
+    keep their text in `code` so `#include <atomic>` stays invisible (angle
+    brackets, not an identifier match) while macros using atomics still scan.
+    """
+    code_lines, comment_lines = [], []
+    in_block = False
+    for line in lines:
+        code, comment = [], []
+        i, n = 0, len(line)
+        while i < n:
+            if in_block:
+                end = line.find("*/", i)
+                if end == -1:
+                    comment.append(line[i:])
+                    i = n
+                else:
+                    comment.append(line[i:end])
+                    i = end + 2
+                    in_block = False
+                continue
+            ch = line[i]
+            if ch == "/" and i + 1 < n and line[i + 1] == "/":
+                comment.append(line[i + 2 :])
+                i = n
+            elif ch == "/" and i + 1 < n and line[i + 1] == "*":
+                in_block = True
+                i += 2
+            elif ch in "\"'":
+                quote = ch
+                code.append(" ")  # blank out the literal entirely
+                i += 1
+                while i < n:
+                    if line[i] == "\\":
+                        i += 2
+                        continue
+                    if line[i] == quote:
+                        i += 1
+                        break
+                    i += 1
+            else:
+                code.append(ch)
+                i += 1
+        code_lines.append("".join(code))
+        comment_lines.append("".join(comment))
+    return code_lines, comment_lines
+
+
+def check_file(path, rel, order_context, violations):
+    try:
+        with open(path, encoding="utf-8", errors="replace") as f:
+            lines = f.read().splitlines()
+    except OSError as e:
+        violations.append((path, 0, f"unreadable: {e}"))
+        return
+    code, comments = split_code_and_comment(lines)
+    parts = rel.split(os.sep)
+    in_sync = len(parts) >= 1 and parts[0] == "sync"
+
+    for idx, code_line in enumerate(code):
+        lineno = idx + 1
+        if not in_sync and RAW_ATOMIC_RE.search(code_line):
+            window = comments[max(0, idx - 1) : idx + 1] + [code_line]
+            if not any(ALLOW_RE.search(c) for c in window):
+                violations.append(
+                    (
+                        path,
+                        lineno,
+                        "raw atomic vocabulary outside src/sync "
+                        f"({RAW_ATOMIC_RE.search(code_line).group(0)}); "
+                        "use the psync helpers (src/sync/atomic_utils.hpp) or add "
+                        "'// check-atomics: allow' with a reason",
+                    )
+                )
+        if ORDER_ARG_RE.search(code_line):
+            lo = max(0, idx - order_context)
+            window = comments[lo : idx + 1]
+            if not any(ORDER_COMMENT_RE.search(c) for c in window):
+                violations.append(
+                    (
+                        path,
+                        lineno,
+                        f"{ORDER_ARG_RE.search(code_line).group(0)} without an adjacent "
+                        "'// order:' justification comment (same line or the "
+                        f"{order_context} lines above)",
+                    )
+                )
+
+
+def scan(roots, order_context):
+    violations = []
+    seen_any = False
+    for root in roots:
+        if not os.path.isdir(root):
+            print(f"check_atomics: not a directory: {root}", file=sys.stderr)
+            return None
+        for dirpath, _dirnames, filenames in os.walk(root):
+            for name in sorted(filenames):
+                if not name.endswith(SOURCE_SUFFIXES):
+                    continue
+                seen_any = True
+                path = os.path.join(dirpath, name)
+                rel = os.path.relpath(path, root)
+                check_file(path, rel, order_context, violations)
+    if not seen_any:
+        print("check_atomics: no source files found under the given roots", file=sys.stderr)
+        return None
+    return violations
+
+
+def self_test():
+    """Proves the lint fails on synthetic violations and passes clean code."""
+    clean_sync = (
+        "#include <atomic>\n"
+        "std::atomic<int> x{0};\n"
+        "// order: release publishes the fully built node array\n"
+        "void pub() { x.store(1, std::memory_order_release); }\n"
+    )
+    clean_outside = "int plain = 0;\nint get() { return plain; }\n"
+    prose_outside = (
+        "// std::atomic_ref is only mentioned in prose here, which is fine.\n"
+        'const char* s = "std::memory_order_relaxed in a string literal";\n'
+    )
+    bad_outside = "#include <atomic>\nstd::atomic<int> leak{0};\n"
+    bad_order = "#include <atomic>\nstd::atomic<int> y{0};\n" "int g() { return y.load(std::memory_order_acquire); }\n"
+    allowed_outside = (
+        "// check-atomics: allow -- self-test fixture for the escape hatch\n"
+        "unsigned v = __atomic_load_n(&v, 0);\n"
+    )
+
+    failures = []
+
+    def expect(name, tree, want_violation_count):
+        with tempfile.TemporaryDirectory() as tmp:
+            for rel, text in tree.items():
+                path = os.path.join(tmp, rel)
+                os.makedirs(os.path.dirname(path), exist_ok=True)
+                with open(path, "w", encoding="utf-8") as f:
+                    f.write(text)
+            got = scan([tmp], order_context=2)
+            if got is None or len(got) != want_violation_count:
+                failures.append(
+                    f"{name}: expected {want_violation_count} violation(s), got "
+                    f"{'scan error' if got is None else got}"
+                )
+
+    expect(
+        "clean tree",
+        {
+            "sync/atomic_utils.hpp": clean_sync,
+            "poptrie/poptrie.cpp": clean_outside,
+            "rib/radix.cpp": prose_outside,
+        },
+        0,
+    )
+    expect("raw atomic outside sync", {"poptrie/poptrie.cpp": bad_outside}, 1)
+    expect(
+        "memory_order without justification in sync",
+        {"sync/ebr.cpp": bad_order},
+        1,
+    )
+    # Outside sync, an unjustified order argument is both a placement leak
+    # and a missing justification: two findings on one line.
+    expect("unjustified order outside sync", {"poptrie/updater.ipp": bad_order}, 3)
+    expect("escape hatch honored", {"workload/datasets.cpp": allowed_outside}, 0)
+
+    if failures:
+        for f in failures:
+            print(f"self-test FAILED: {f}", file=sys.stderr)
+        return 1
+    print("check_atomics: self-test passed (5 scenarios)")
+    return 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__, add_help=True)
+    parser.add_argument("roots", nargs="*", help="source roots to scan (e.g. src)")
+    parser.add_argument(
+        "--order-context",
+        type=int,
+        default=2,
+        metavar="N",
+        help="how many preceding lines may hold the '// order:' comment (default 2)",
+    )
+    parser.add_argument(
+        "--self-test",
+        action="store_true",
+        help="run the built-in fixture scenarios instead of scanning",
+    )
+    try:
+        args = parser.parse_args(argv)
+    except SystemExit as e:
+        return 0 if e.code == 0 else 2
+    if args.self_test:
+        return self_test()
+    if not args.roots:
+        parser.print_usage(sys.stderr)
+        return 2
+    violations = scan(args.roots, args.order_context)
+    if violations is None:
+        return 2
+    for path, lineno, msg in violations:
+        print(f"{path}:{lineno}: {msg}", file=sys.stderr)
+    if violations:
+        print(f"check_atomics: {len(violations)} violation(s)", file=sys.stderr)
+        return 1
+    print("check_atomics: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,250 @@
+#!/usr/bin/env python3
+"""coverage.py -- line-coverage reporting with a per-scope floor.
+
+Drives whichever instrumentation the build was configured with
+(-DPOPTRIE_COVERAGE=ON):
+
+  * GCC   (--coverage):              aggregates .gcda files via `gcov
+                                     --json-format --stdout`;
+  * Clang (-fprofile-instr-generate): merges .profraw with llvm-profdata and
+                                     exports lcov via `llvm-cov export`.
+
+Either way the result is one per-source-file table of (covered, instrumented)
+line counts, merged across translation units (a header line is covered if ANY
+TU executed it). The floor (--min-line, percent) is enforced per --scope
+(a source-dir-relative prefix such as src/poptrie); files outside every scope
+are reported but not gated, so slow-moving corners (tools/, bench/) cannot
+mask a regression in the core lookup/update code.
+
+Exit codes: 0 floor met, 1 floor violated (or tests failed), 2 environment or
+usage error (no instrumentation data, missing tools).
+
+Typical use (what the `coverage` CMake target runs):
+    cmake -B build -DPOPTRIE_COVERAGE=ON -DCMAKE_BUILD_TYPE=Debug
+    cmake --build build -j
+    tools/coverage.py --build-dir build --source-dir . --run-ctest \
+        --min-line 80 --scope src/poptrie --scope src/rib
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import subprocess
+import sys
+
+
+def find_files(root, suffix):
+    out = []
+    for dirpath, _dirnames, filenames in os.walk(root):
+        for name in filenames:
+            if name.endswith(suffix):
+                out.append(os.path.join(dirpath, name))
+    return sorted(out)
+
+
+def run_ctest(build_dir, label_exclude):
+    cmd = ["ctest", "--test-dir", build_dir, "--output-on-failure", "-j", str(os.cpu_count() or 2)]
+    if label_exclude:
+        cmd += ["-LE", label_exclude]
+    print(f"coverage: running {' '.join(cmd)}", flush=True)
+    return subprocess.call(cmd)
+
+
+class Coverage:
+    """file -> {line_number -> max observed count} merged across TUs."""
+
+    def __init__(self, source_dir):
+        self.source_dir = os.path.realpath(source_dir)
+        self.files = {}  # rel path -> dict line -> count
+
+    def add_line(self, path, line, count):
+        real = os.path.realpath(path)
+        if not real.startswith(self.source_dir + os.sep):
+            return  # system header or generated file: not ours to gate
+        rel = os.path.relpath(real, self.source_dir)
+        lines = self.files.setdefault(rel, {})
+        lines[line] = max(lines.get(line, 0), count)
+
+    def totals(self, prefix=None):
+        covered = instrumented = 0
+        for rel, lines in self.files.items():
+            if prefix is not None and not (rel == prefix or rel.startswith(prefix + os.sep)):
+                continue
+            instrumented += len(lines)
+            covered += sum(1 for c in lines.values() if c > 0)
+        return covered, instrumented
+
+
+def collect_gcov(build_dir, cov):
+    gcda = find_files(build_dir, ".gcda")
+    if not gcda:
+        return False
+    gcov = shutil.which("gcov")
+    if gcov is None:
+        print("coverage: .gcda files present but gcov not found", file=sys.stderr)
+        sys.exit(2)
+    for path in gcda:
+        # Run from the object directory so gcov resolves the matching .gcno.
+        proc = subprocess.run(
+            [gcov, "--json-format", "--stdout", os.path.basename(path)],
+            cwd=os.path.dirname(path),
+            capture_output=True,
+            text=True,
+        )
+        if proc.returncode != 0:
+            print(f"coverage: gcov failed on {path}: {proc.stderr.strip()}", file=sys.stderr)
+            continue
+        # --stdout emits one JSON document per input file.
+        for doc in proc.stdout.splitlines():
+            doc = doc.strip()
+            if not doc:
+                continue
+            try:
+                data = json.loads(doc)
+            except json.JSONDecodeError:
+                continue
+            cwd = data.get("current_working_directory", "")
+            for f in data.get("files", []):
+                src = f["file"]
+                if not os.path.isabs(src):
+                    src = os.path.join(cwd, src)
+                for line in f.get("lines", []):
+                    cov.add_line(src, line["line_number"], line["count"])
+    return True
+
+
+def is_elf_executable(path):
+    if not os.access(path, os.X_OK) or os.path.isdir(path):
+        return False
+    try:
+        with open(path, "rb") as f:
+            return f.read(4) == b"\x7fELF"
+    except OSError:
+        return False
+
+
+def collect_llvm(build_dir, cov):
+    profraw = find_files(build_dir, ".profraw")
+    if not profraw:
+        return False
+    profdata_tool = shutil.which("llvm-profdata")
+    llvm_cov = shutil.which("llvm-cov")
+    if profdata_tool is None or llvm_cov is None:
+        print("coverage: .profraw files present but llvm-profdata/llvm-cov not found", file=sys.stderr)
+        sys.exit(2)
+    merged = os.path.join(build_dir, "coverage.profdata")
+    subprocess.check_call([profdata_tool, "merge", "-sparse", "-o", merged] + profraw)
+    binaries = [p for p in find_files(build_dir, "") if is_elf_executable(p)]
+    if not binaries:
+        print("coverage: no instrumented binaries found in the build dir", file=sys.stderr)
+        sys.exit(2)
+    cmd = [llvm_cov, "export", "--format=lcov", f"-instr-profile={merged}", binaries[0]]
+    for b in binaries[1:]:
+        cmd += ["-object", b]
+    proc = subprocess.run(cmd, capture_output=True, text=True)
+    if proc.returncode != 0:
+        print(f"coverage: llvm-cov export failed: {proc.stderr.strip()}", file=sys.stderr)
+        sys.exit(2)
+    current = None
+    for line in proc.stdout.splitlines():
+        if line.startswith("SF:"):
+            current = line[3:]
+        elif line.startswith("DA:") and current:
+            lineno, count = line[3:].split(",")[:2]
+            cov.add_line(current, int(lineno), int(count))
+    return True
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", required=True)
+    parser.add_argument("--source-dir", required=True)
+    parser.add_argument(
+        "--run-ctest",
+        action="store_true",
+        help="run the test suite first to produce fresh counters",
+    )
+    parser.add_argument(
+        "--ctest-label-exclude",
+        default="",
+        metavar="REGEX",
+        help="ctest -LE filter while gathering coverage (e.g. 'fuzz-smoke')",
+    )
+    parser.add_argument(
+        "--min-line",
+        type=float,
+        default=0.0,
+        metavar="PCT",
+        help="line-coverage floor in percent, enforced per --scope",
+    )
+    parser.add_argument(
+        "--scope",
+        action="append",
+        default=[],
+        metavar="PREFIX",
+        help="source-dir-relative prefix the floor applies to (repeatable)",
+    )
+    args = parser.parse_args(argv)
+
+    if not os.path.isdir(args.build_dir):
+        print(f"coverage: not a directory: {args.build_dir}", file=sys.stderr)
+        return 2
+
+    tests_failed = False
+    if args.run_ctest:
+        # Clang's runtime writes .profraw per process; give every process a
+        # unique file inside the build dir so nothing lands in cwd.
+        os.environ.setdefault(
+            "LLVM_PROFILE_FILE", os.path.join(os.path.abspath(args.build_dir), "prof-%p.profraw")
+        )
+        if run_ctest(args.build_dir, args.ctest_label_exclude) != 0:
+            # Keep going: a coverage report for a failing suite is still
+            # useful for debugging, but the overall run must not pass.
+            print("coverage: ctest reported failures", file=sys.stderr)
+            tests_failed = True
+
+    cov = Coverage(args.source_dir)
+    got = collect_gcov(args.build_dir, cov) or collect_llvm(args.build_dir, cov)
+    if not got:
+        print(
+            "coverage: no .gcda or .profraw data under the build dir.\n"
+            "Reconfigure with -DPOPTRIE_COVERAGE=ON (Debug recommended), rebuild,"
+            " and run the tests (or pass --run-ctest).",
+            file=sys.stderr,
+        )
+        return 2
+
+    def pct(covered, instrumented):
+        return 100.0 * covered / instrumented if instrumented else 100.0
+
+    print()
+    print(f"{'file':60} {'covered':>9} {'lines':>7} {'pct':>7}")
+    for rel in sorted(cov.files):
+        c, t = cov.totals(rel)
+        print(f"{rel:60} {c:9d} {t:7d} {pct(c, t):6.1f}%")
+
+    failed = tests_failed
+    print()
+    for scope in args.scope or ["."]:
+        prefix = None if scope == "." else scope.rstrip("/")
+        c, t = cov.totals(prefix)
+        p = pct(c, t)
+        status = "ok"
+        if t == 0:
+            status = "FAIL (no instrumented lines -- wrong --scope?)"
+            failed = True
+        elif p < args.min_line:
+            status = f"FAIL (floor {args.min_line:.1f}%)"
+            failed = True
+        print(f"scope {scope:20} {c}/{t} lines = {p:.1f}%  [{status}]")
+    c, t = cov.totals(None)
+    print(f"total {'(all sources)':20} {c}/{t} lines = {pct(c, t):.1f}%")
+
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "analysis/audit.hpp"
+#include "netbase/bits.hpp"
 #include "poptrie/poptrie.hpp"
 #include "rib/radix_trie.hpp"
 #include "workload/tablegen.hpp"
@@ -37,6 +38,7 @@ struct FsckOptions {
     poptrie::Config cfg{};
     std::size_t probes = 4096;
     bool verbose = false;
+    std::string inject_fault;  // "", "leaf", "vector" or "direct"
 };
 
 void usage(std::FILE* to)
@@ -53,6 +55,9 @@ void usage(std::FILE* to)
         "  --basic            disable leaf compression\n"
         "  --no-aggregate     disable route aggregation\n"
         "  --probes N         random differential probes per audit (default 4096)\n"
+        "  --inject-fault K   corrupt the built FIB before auditing (K: leaf,\n"
+        "                     vector, direct) -- the audit MUST then fail;\n"
+        "                     exercises the detector end to end\n"
         "  --verbose          print every audit's coverage summary\n",
         to);
 }
@@ -114,6 +119,68 @@ std::size_t churn_updates(poptrie::Poptrie<Addr>& pt, rib::RadixTrie<Addr>& rib,
     return applied;
 }
 
+/// Indices of every REACHABLE internal node (free-pool slots are invisible to
+/// lookups and to the auditor, so corrupting them would prove nothing).
+template <class Addr>
+std::vector<std::uint32_t> reachable_nodes(const poptrie::Poptrie<Addr>& pt)
+{
+    const auto& nodes = analysis::AuditAccess::nodes(pt);
+    std::vector<std::uint32_t> out;
+    std::size_t scan = 0;
+    if (pt.config().direct_bits == 0) {
+        out.push_back(analysis::AuditAccess::root(pt));
+    } else {
+        for (const std::uint32_t v : analysis::AuditAccess::direct(pt))
+            if (!(v & poptrie::Poptrie<Addr>::kDirectLeafBit)) out.push_back(v);
+    }
+    while (scan < out.size()) {
+        const auto& n = nodes[out[scan++]];
+        const auto kids = static_cast<unsigned>(netbase::popcount64(n.vector));
+        for (unsigned k = 0; k < kids; ++k) out.push_back(n.base1 + k);
+    }
+    return out;
+}
+
+/// Deliberate in-memory corruption (via the auditor's access backdoor) so the
+/// detection path can be exercised end to end: a clean run after an injection
+/// would mean the auditor is blind to that fault class.
+template <class Addr>
+bool inject_fault(poptrie::Poptrie<Addr>& pt, const FsckOptions& opt)
+{
+    auto& nodes = analysis::AuditAccess::nodes(pt);
+    if (opt.inject_fault == "leaf") {
+        // Bump a reachable leaf's next hop: lookups over that chunk now
+        // disagree with the RIB (and the run may stop being minimal).
+        for (const auto idx : reachable_nodes(pt)) {
+            if (nodes[idx].leafvec == 0) continue;
+            auto& slot = analysis::AuditAccess::leaves(pt)[nodes[idx].base0];
+            slot = static_cast<rib::NextHop>(slot + 7);
+            return true;
+        }
+        return false;
+    }
+    if (opt.inject_fault == "vector") {
+        // Flip a child bit in a reachable node: popcount offsets shift for
+        // every sibling after it.
+        for (const auto idx : reachable_nodes(pt)) {
+            if (nodes[idx].vector == 0) continue;
+            nodes[idx].vector ^= 1;
+            return true;
+        }
+        return false;
+    }
+    if (opt.inject_fault == "direct") {
+        // Point a direct slot outside the node pool.
+        auto& direct = analysis::AuditAccess::direct(pt);
+        if (direct.empty()) return false;
+        direct[direct.size() / 2] = 0x0FFF'FFFFu;
+        return true;
+    }
+    std::fprintf(stderr, "poptrie_fsck: unknown --inject-fault kind '%s'\n",
+                 opt.inject_fault.c_str());
+    std::exit(2);
+}
+
 template <class Addr>
 int fsck(const rib::RouteList<Addr>& routes, const FsckOptions& opt)
 {
@@ -124,6 +191,12 @@ int fsck(const rib::RouteList<Addr>& routes, const FsckOptions& opt)
         const auto s = pt.stats();
         std::printf("table: %zu routes -> %zu inodes, %zu leaves, %zu direct slots\n",
                     rib.route_count(), s.internal_nodes, s.leaves, s.direct_slots);
+    }
+
+    if (!opt.inject_fault.empty() && !inject_fault(pt, opt)) {
+        std::fprintf(stderr, "poptrie_fsck: table too small to inject a '%s' fault\n",
+                     opt.inject_fault.c_str());
+        return 2;
     }
 
     std::size_t violations = run_audit(pt, rib, opt, "build");
@@ -207,6 +280,8 @@ int main(int argc, char** argv)
             opt.cfg.route_aggregation = false;
         } else if (arg == "--probes") {
             if (!parse_size(arg, value(), opt.probes)) return 2;
+        } else if (arg == "--inject-fault") {
+            opt.inject_fault = value();
         } else if (arg == "--verbose") {
             opt.verbose = true;
         } else if (arg == "--help" || arg == "-h") {
