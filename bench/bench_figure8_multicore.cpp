@@ -5,14 +5,18 @@
 #include <thread>
 
 #include "common.hpp"
+#include "dataplane/worker_pool.hpp"
 
 using namespace bench;
 
 int main(int argc, char** argv)
 {
     const benchkit::Args args(argc, argv);
-    if (args.handle_help("bench_figure8_multicore", "  --threads=N  max thread count"))
+    if (args.handle_help("bench_figure8_multicore",
+                         "  --threads=N  max thread count\n"
+                         "  --pin        pin measurement threads to CPUs"))
         return 0;
+    const bool pin = args.has("pin");
     const auto lookups = args.lookups(std::size_t{1} << 22, std::size_t{1} << 25);
     const auto trials = args.trials();
     const auto max_threads = static_cast<unsigned>(args.get_u64(
@@ -35,9 +39,9 @@ int main(int argc, char** argv)
         const poptrie::Poptrie4 pt{d.rib, cfg};
         double base = 0;
         for (unsigned threads = 1; threads <= max_threads; ++threads) {
-            const auto r = benchkit::measure_random_multithread(
+            const auto r = dataplane::measure_random_multithread(
                 [&](std::uint32_t a) { return pt.lookup_raw<true>(a); }, lookups, threads,
-                trials);
+                trials, pin);
             sink.add(r.checksum);
             if (threads == 1) base = r.mlps_mean;
             table.print_row({d.name, std::to_string(threads),

@@ -21,7 +21,19 @@ std::string_view value_of(const std::string& arg, std::string_view name)
 
 Args::Args(int argc, char** argv)
 {
-    for (int i = 1; i < argc; ++i) args_.emplace_back(argv[i]);
+    // "--name value" is normalized to "--name=value": a bare "--name"
+    // followed by a token that is not itself a flag takes it as the value.
+    // No bench or tool takes positional arguments, so this is unambiguous.
+    for (int i = 1; i < argc; ++i) {
+        std::string arg{argv[i]};
+        if (arg.size() > 2 && arg[0] == '-' && arg[1] == '-' &&
+            arg.find('=') == std::string::npos && i + 1 < argc &&
+            argv[i + 1][0] != '-') {
+            arg += '=';
+            arg += argv[++i];
+        }
+        args_.push_back(std::move(arg));
+    }
 }
 
 bool Args::has(std::string_view name) const

@@ -16,7 +16,8 @@
 
 namespace benchkit {
 
-/// Parsed command line. Flags are "--name" or "--name=value".
+/// Parsed command line. Flags are "--name", "--name=value", or
+/// "--name value" (the separate-token form is normalized at construction).
 class Args {
 public:
     Args(int argc, char** argv);

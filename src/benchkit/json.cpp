@@ -1,0 +1,86 @@
+#include "benchkit/json.hpp"
+
+#include <cstdio>
+
+#include "benchkit/table_printer.hpp"
+
+namespace benchkit {
+
+std::string json_escape(std::string_view text)
+{
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+void JsonRecords::begin_record() { records_.emplace_back(); }
+
+void JsonRecords::append_raw(std::string_view key, std::string value)
+{
+    if (records_.empty()) records_.emplace_back();
+    std::string& r = records_.back();
+    if (!r.empty()) r += ',';
+    r += '"';
+    r += json_escape(key);
+    r += "\":";
+    r += value;
+}
+
+void JsonRecords::field(std::string_view key, std::string_view value)
+{
+    append_raw(key, '"' + json_escape(value) + '"');
+}
+
+void JsonRecords::field(std::string_view key, double value, int decimals)
+{
+    append_raw(key, fmt(value, decimals));
+}
+
+void JsonRecords::field(std::string_view key, std::uint64_t value)
+{
+    append_raw(key, std::to_string(value));
+}
+
+void JsonRecords::field(std::string_view key, bool value)
+{
+    append_raw(key, value ? "true" : "false");
+}
+
+std::string JsonRecords::dump() const
+{
+    std::string out = "[";
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+        if (i != 0) out += ',';
+        out += '{';
+        out += records_[i];
+        out += '}';
+    }
+    out += ']';
+    return out;
+}
+
+void JsonRecords::write(std::FILE* out) const
+{
+    const std::string s = dump();
+    std::fwrite(s.data(), 1, s.size(), out);
+    std::fputc('\n', out);
+}
+
+}  // namespace benchkit

@@ -1,0 +1,48 @@
+// benchkit/json.hpp — flat JSON record emission for bench results.
+//
+// The table printer stays the human-facing output; benches that want
+// machine-readable results (bench_dataplane, lpmd --json) additionally
+// collect flat records here and dump them as one JSON array. Only the shapes
+// the benches need are supported: records of string/number/bool fields — no
+// nesting, no external dependency.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace benchkit {
+
+/// Escapes a string for inclusion in a JSON string literal.
+[[nodiscard]] std::string json_escape(std::string_view text);
+
+/// Collects flat records and writes them as a JSON array of objects.
+/// Field order within a record is preserved; records are independent (no
+/// schema enforcement).
+class JsonRecords {
+public:
+    /// Starts a new record; subsequent field() calls attach to it.
+    void begin_record();
+
+    void field(std::string_view key, std::string_view value);
+    void field(std::string_view key, double value, int decimals = 3);
+    void field(std::string_view key, std::uint64_t value);
+    void field(std::string_view key, bool value);
+
+    [[nodiscard]] std::size_t record_count() const noexcept { return records_.size(); }
+
+    /// The whole array as a string ("[]" when empty).
+    [[nodiscard]] std::string dump() const;
+
+    /// Writes dump() to `out` with a trailing newline.
+    void write(std::FILE* out) const;
+
+private:
+    void append_raw(std::string_view key, std::string value);
+
+    std::vector<std::string> records_;  // serialized "k":v,... bodies
+};
+
+}  // namespace benchkit

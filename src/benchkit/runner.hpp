@@ -158,37 +158,8 @@ RateResult measure_random_keys(Lookup&& lookup, MakeKey&& make_key, std::size_t 
     return r;
 }
 
-/// Fig. 8: aggregated random-pattern rate over `threads` concurrent lookup
-/// threads sharing one read-only structure.
-template <class Lookup>
-RateResult measure_random_multithread(Lookup&& lookup, std::size_t lookups_per_thread,
-                                      unsigned threads, unsigned trials)
-{
-    RateResult r;
-    std::vector<double> rates;
-    for (unsigned t = 0; t < trials; ++t) {
-        std::vector<std::jthread> workers;
-        std::vector<std::uint64_t> sums(threads, 0);
-        const auto t0 = std::chrono::steady_clock::now();
-        for (unsigned w = 0; w < threads; ++w) {
-            workers.emplace_back([&, w] {
-                workload::Xorshift128 rng(0x9000 + w);
-                std::uint64_t sum = 0;
-                for (std::size_t i = 0; i < lookups_per_thread; ++i)
-                    sum += static_cast<std::uint64_t>(lookup(rng.next()));
-                sums[w] = sum;
-            });
-        }
-        workers.clear();  // join
-        const double secs = detail::seconds_since(t0);
-        rates.push_back(static_cast<double>(lookups_per_thread) *
-                        static_cast<double>(threads) / secs / 1e6);
-        for (const auto s : sums) r.checksum += s;
-    }
-    const auto ms = mean_std(rates);
-    r.mlps_mean = ms.mean;
-    r.mlps_std = ms.std;
-    return r;
-}
+// Multithreaded measurement (Fig. 8) lives in dataplane/worker_pool.hpp:
+// dataplane::measure_random_multithread shares the thread/affinity
+// scaffolding with the forwarding pipeline instead of rolling its own.
 
 }  // namespace benchkit

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <numeric>
 
+#include "benchkit/table_printer.hpp"
+
 namespace benchkit {
 
 MeanStd mean_std(const std::vector<double>& samples)
@@ -64,6 +66,77 @@ Candle candle(std::vector<std::uint64_t> samples)
     c.p95 = p.percentile(95);
     c.n = p.count();
     return c;
+}
+
+Reservoir::Reservoir(std::size_t capacity, std::uint64_t seed)
+    : capacity_(capacity == 0 ? 1 : capacity)
+{
+    // Same seed mixing as workload::Xorshift128, inlined so stats.hpp does
+    // not grow a workload include for one PRNG.
+    rng_state_[0] = 123456789u ^ static_cast<std::uint32_t>(seed);
+    rng_state_[1] = 362436069u ^ static_cast<std::uint32_t>(seed >> 32);
+    rng_state_[2] = 521288629u ^ static_cast<std::uint32_t>(seed * 0x9E3779B9u);
+    rng_state_[3] = 88675123u ^ static_cast<std::uint32_t>((seed >> 16) * 0x85EBCA6Bu);
+    if ((rng_state_[0] | rng_state_[1] | rng_state_[2] | rng_state_[3]) == 0)
+        rng_state_[0] = 1;
+    samples_.reserve(capacity_);
+}
+
+std::uint32_t Reservoir::next_u32() noexcept
+{
+    const std::uint32_t t = rng_state_[0] ^ (rng_state_[0] << 11);
+    rng_state_[0] = rng_state_[1];
+    rng_state_[1] = rng_state_[2];
+    rng_state_[2] = rng_state_[3];
+    rng_state_[3] = rng_state_[3] ^ (rng_state_[3] >> 19) ^ t ^ (t >> 8);
+    return rng_state_[3];
+}
+
+void Reservoir::add(std::uint64_t sample)
+{
+    ++observed_;
+    if (samples_.size() < capacity_) {
+        samples_.push_back(sample);
+        return;
+    }
+    // Algorithm R: keep with probability capacity/observed, replacing a
+    // uniformly chosen incumbent (Lemire multiply-shift for the bound).
+    const auto j = static_cast<std::uint64_t>(
+        (static_cast<std::uint64_t>(next_u32()) * observed_) >> 32);
+    if (j < capacity_) samples_[static_cast<std::size_t>(j)] = sample;
+}
+
+void Reservoir::merge(const Reservoir& other)
+{
+    // Replaying the other side's retained samples keeps the result a valid
+    // bounded sample of the union; exact weighting is not worth the
+    // bookkeeping for percentile estimation at these sample sizes.
+    for (const auto s : other.samples_) add(s);
+    observed_ += other.observed_ - other.samples_.size();
+}
+
+LatencyPercentiles latency_percentiles(std::vector<std::uint64_t> samples)
+{
+    const Percentiles p(std::move(samples));
+    LatencyPercentiles lp;
+    lp.p50 = p.percentile(50);
+    lp.p99 = p.percentile(99);
+    lp.p999 = p.percentile(99.9);
+    lp.n = p.count();
+    return lp;
+}
+
+LatencyPercentiles latency_percentiles(const Reservoir& reservoir)
+{
+    return latency_percentiles(reservoir.samples());
+}
+
+std::string fmt_mlps(double mlps, int decimals) { return fmt(mlps, decimals) + " Mlps"; }
+
+double to_mlps(std::uint64_t lookups, double seconds)
+{
+    if (seconds <= 0) return 0;
+    return static_cast<double>(lookups) / seconds / 1e6;
 }
 
 }  // namespace benchkit

@@ -1,9 +1,11 @@
 // benchkit/stats.hpp — summary statistics for bench output: means with
 // standard deviation (the paper's "(std.)" columns), percentiles (Table 4),
-// CDFs (Fig. 10) and quartile candlesticks (Fig. 11).
+// CDFs (Fig. 10), quartile candlesticks (Fig. 11), and bounded-memory
+// latency reservoirs with tail percentiles (bench_dataplane).
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace benchkit {
@@ -39,5 +41,54 @@ struct Candle {
     std::size_t n = 0;
 };
 [[nodiscard]] Candle candle(std::vector<std::uint64_t> samples);
+
+/// Bounded-memory uniform sample reservoir (Vitter's algorithm R) for
+/// streams too long to store — the dataplane records one latency sample per
+/// forwarded burst, which at tens of Mlps is far more values than a bench
+/// wants to keep. Deterministic: the replacement choices come from a seeded
+/// xorshift, so repeated runs over the same stream sample identically.
+class Reservoir {
+public:
+    explicit Reservoir(std::size_t capacity = 4096, std::uint64_t seed = 0x5EED);
+
+    void add(std::uint64_t sample);
+
+    /// Merges another reservoir into this one (used to fold per-worker
+    /// reservoirs into a run-level one; keeps a uniform-ish sample by
+    /// feeding the other side's samples through the same stream logic).
+    void merge(const Reservoir& other);
+
+    /// Samples retained so far (unsorted, <= capacity).
+    [[nodiscard]] const std::vector<std::uint64_t>& samples() const noexcept
+    {
+        return samples_;
+    }
+    /// Stream length observed (>= samples().size()).
+    [[nodiscard]] std::uint64_t observed() const noexcept { return observed_; }
+    [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
+private:
+    std::size_t capacity_;
+    std::uint64_t observed_ = 0;
+    std::uint32_t rng_state_[4];  // inlined xorshift128 (header stays light)
+    std::vector<std::uint64_t> samples_;
+
+    std::uint32_t next_u32() noexcept;
+};
+
+/// The dataplane's tail-latency summary: p50/p99/p99.9 over a sample set.
+struct LatencyPercentiles {
+    double p50 = 0, p99 = 0, p999 = 0;
+    std::size_t n = 0;  ///< samples the percentiles were computed from
+};
+[[nodiscard]] LatencyPercentiles latency_percentiles(std::vector<std::uint64_t> samples);
+[[nodiscard]] LatencyPercentiles latency_percentiles(const Reservoir& reservoir);
+
+/// Formats a lookup rate in Mlps ("412.37 Mlps"); the shared convention for
+/// the dataplane bench and lpmd stats lines.
+[[nodiscard]] std::string fmt_mlps(double mlps, int decimals = 2);
+
+/// Rate from a count and a duration, in Mlps.
+[[nodiscard]] double to_mlps(std::uint64_t lookups, double seconds);
 
 }  // namespace benchkit

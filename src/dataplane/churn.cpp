@@ -1,0 +1,69 @@
+#include "dataplane/churn.hpp"
+
+#include <chrono>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace dataplane {
+
+router::Adjacency<netbase::Ipv4Addr> ChurnRunner::adjacency_for(rib::NextHop hop)
+{
+    // Deterministic hop -> (gateway, interface) mapping: the gateway encodes
+    // the hop id, interfaces spread over a small set like a real box's ports.
+    return {netbase::Ipv4Addr{0x0A000000u + hop}, "sim" + std::to_string(hop % 8)};
+}
+
+void load_routes(router::Router4& router,
+                 const rib::RouteList<netbase::Ipv4Addr>& routes)
+{
+    for (const auto& r : routes)
+        router.add_route(r.prefix, ChurnRunner::adjacency_for(r.next_hop));
+}
+
+ChurnRunner::ChurnRunner(router::Router4& router,
+                         const rib::RouteList<netbase::Ipv4Addr>& routes,
+                         ChurnConfig cfg)
+    : router_(router)
+{
+    cfg.feed.updates = cfg.updates;
+    auto events = workload::make_update_feed(routes, cfg.feed);
+    thread_ = std::thread([this, events = std::move(events), cfg]() mutable {
+        run(std::move(events), cfg);
+    });
+}
+
+void ChurnRunner::run(std::vector<workload::UpdateEvent> events, ChurnConfig cfg)
+{
+    const auto start = std::chrono::steady_clock::now();
+    for (std::size_t i = 0; i < events.size(); ++i) {
+        if (stop_.requested()) return;
+        if (cfg.rate_per_sec > 0) {
+            const auto deadline =
+                start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                            std::chrono::duration<double>(static_cast<double>(i) /
+                                                          cfg.rate_per_sec));
+            std::this_thread::sleep_until(deadline);
+        }
+        const auto& ev = events[i];
+        if (ev.next_hop == rib::kNoRoute) {
+            (void)router_.remove_route(ev.prefix);
+            withdrawals_.add(1);
+        } else {
+            router_.add_route(ev.prefix, adjacency_for(ev.next_hop));
+            announcements_.add(1);
+        }
+        applied_.add(1);
+    }
+    finished_.add(1);
+}
+
+void ChurnRunner::stop_and_join()
+{
+    stop_.request();
+    if (thread_.joinable()) thread_.join();
+}
+
+ChurnRunner::~ChurnRunner() { stop_and_join(); }
+
+}  // namespace dataplane

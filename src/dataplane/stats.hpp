@@ -1,0 +1,41 @@
+// dataplane/stats.hpp — the forwarding pipeline's counters.
+//
+// Workers and the producer never share a counter: each worker owns one
+// cache-line-padded WorkerCounters block (psync::EventCounter), the producer
+// owns ProducerCounters, and observers (lpmd's stats line, the bench, tests)
+// fold them into a StatsSnapshot on demand. Totals are therefore racy by one
+// burst at most, and exact once the pipeline is stopped.
+#pragma once
+
+#include <cstdint>
+
+#include "sync/counters.hpp"
+
+namespace dataplane {
+
+/// One forwarding worker's counters (single-writer, any readers).
+struct WorkerCounters {
+    psync::EventCounter forwarded;  ///< lookups that resolved a next hop
+    psync::EventCounter no_route;   ///< lookup misses (rib::kNoRoute)
+    psync::EventCounter batches;    ///< bursts drained from the ring
+};
+
+/// The producer side's counters (single-writer, any readers).
+struct ProducerCounters {
+    psync::EventCounter offered;     ///< addresses handed to offer()
+    psync::EventCounter ring_drops;  ///< addresses rejected: every ring full
+};
+
+/// Point-in-time aggregate over all workers plus the producer.
+struct StatsSnapshot {
+    std::uint64_t forwarded = 0;
+    std::uint64_t no_route = 0;
+    std::uint64_t batches = 0;
+    std::uint64_t offered = 0;
+    std::uint64_t ring_drops = 0;
+
+    /// Lookups executed (forwarded + no_route).
+    [[nodiscard]] std::uint64_t lookups() const noexcept { return forwarded + no_route; }
+};
+
+}  // namespace dataplane

@@ -1,0 +1,51 @@
+#include "dataplane/worker_pool.hpp"
+
+#include <algorithm>
+
+#if defined(__linux__)
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+namespace dataplane {
+
+bool pin_current_thread(unsigned cpu) noexcept
+{
+#if defined(__linux__)
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    CPU_SET(cpu % CPU_SETSIZE, &set);
+    return pthread_setaffinity_np(pthread_self(), sizeof set, &set) == 0;
+#else
+    (void)cpu;
+    return false;
+#endif
+}
+
+WorkerPool::WorkerPool(const WorkerPoolConfig& cfg, std::function<void(unsigned)> body)
+    : threads_count_(cfg.threads)
+{
+    const unsigned ncpu = std::max(1u, std::thread::hardware_concurrency());
+    // cfg is copied into the capture: the threads may outlive the caller's
+    // config object the reference parameter points at.
+    const bool pin = cfg.pin_cpus;
+    const unsigned offset = cfg.cpu_offset;
+    threads_.reserve(cfg.threads);
+    for (unsigned w = 0; w < cfg.threads; ++w) {
+        threads_.emplace_back([pin, offset, body, w, ncpu] {
+            if (pin) (void)pin_current_thread((offset + w) % ncpu);
+            body(w);
+        });
+    }
+}
+
+WorkerPool::~WorkerPool() { join(); }
+
+void WorkerPool::join()
+{
+    for (auto& t : threads_)
+        if (t.joinable()) t.join();
+    threads_.clear();
+}
+
+}  // namespace dataplane

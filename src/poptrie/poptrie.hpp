@@ -226,6 +226,13 @@ public:
     /// Runs pending reclamation to completion (quiescent point / shutdown).
     void drain() { ebr_->drain(); }
 
+    /// Pre-grows the node/leaf pools to the configured headroom over the
+    /// current occupancy. Quiescent-point only: growing reallocates the
+    /// arrays, which is not safe under concurrent lookups — call after
+    /// bulk-loading routes incrementally and *before* starting forwarding
+    /// threads, so a subsequent update feed never grows under readers.
+    void reserve_headroom() { ensure_headroom(); }
+
     /// Size/shape statistics (Table 2 columns).
     [[nodiscard]] Stats stats() const noexcept;
 

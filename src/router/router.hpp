@@ -108,6 +108,11 @@ public:
     /// Runs deferred FIB-memory reclamation to completion (quiescent point).
     void drain() { fib_.drain(); }
 
+    /// Pre-grows FIB pools to the configured headroom (quiescent point;
+    /// see Poptrie::reserve_headroom). Call after bulk add_route loading,
+    /// before forwarding threads start, when updates will run concurrently.
+    void reserve_fib_headroom() { fib_.reserve_headroom(); }
+
 private:
     using Key = std::pair<typename Addr::value_type, std::string>;
 

@@ -1,0 +1,63 @@
+// sync/counters.hpp — shared-state scalars for the dataplane, kept here so
+// the placement rule (tools/check_atomics.py: raw atomics live in src/sync)
+// holds for the worker pipeline too.
+//
+//   * EventCounter — a cache-line-padded monotonically increasing counter a
+//     single worker bumps and any observer thread may snapshot. Relaxed on
+//     both sides: the values are statistics, never used to order accesses to
+//     other data.
+//   * StopFlag — a one-way shutdown signal set by the orchestrator and
+//     polled by workers.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace psync {
+
+/// Monotonic event counter on its own cache line. One writer, any readers.
+struct alignas(64) EventCounter {
+    EventCounter() = default;
+    EventCounter(const EventCounter&) = delete;
+    EventCounter& operator=(const EventCounter&) = delete;
+
+    void add(std::uint64_t n) noexcept
+    {
+        // order: relaxed (load and store) — a statistic with a single
+        // incrementing thread; observers tolerate momentary staleness.
+        const auto v = value_.load(std::memory_order_relaxed);
+        value_.store(v + n, std::memory_order_relaxed);  // order: see above
+    }
+
+    [[nodiscard]] std::uint64_t read() const noexcept
+    {
+        // order: relaxed — snapshot for reporting only; never used to
+        // justify access to other shared data.
+        return value_.load(std::memory_order_relaxed);
+    }
+
+private:
+    std::atomic<std::uint64_t> value_{0};
+};
+
+/// One-way shutdown signal: the orchestrator request()s, workers poll.
+class StopFlag {
+public:
+    void request() noexcept
+    {
+        // order: release — anything the requester wrote before stopping is
+        // visible to a worker that sees the flag via the acquire load below.
+        stop_.store(true, std::memory_order_release);
+    }
+
+    [[nodiscard]] bool requested() const noexcept
+    {
+        // order: acquire — pairs with request()'s release store.
+        return stop_.load(std::memory_order_acquire);
+    }
+
+private:
+    std::atomic<bool> stop_{false};
+};
+
+}  // namespace psync

@@ -8,8 +8,25 @@ namespace psync {
 EbrDomain::Reader EbrDomain::register_reader()
 {
     const std::lock_guard lock(reader_mutex_);
+    if (!free_slots_.empty()) {
+        auto* slot = free_slots_.back();
+        free_slots_.pop_back();
+        return Reader{this, slot};
+    }
     slots_.emplace_back(kQuiescent);
     return Reader{this, &slots_.back()};
+}
+
+void EbrDomain::unregister_reader(std::atomic<std::uint64_t>* slot) noexcept
+{
+    // Force the slot quiescent: a Reader destroyed while formally "active"
+    // (its thread died between enter() and exit()) can no longer touch the
+    // structure, so pinning the epoch on its behalf would only leak memory.
+    // order: release — sequences the dying section's structure reads before
+    // the slot is seen free; pairs with min_active_epoch()'s acquire scan.
+    slot->store(kQuiescent, std::memory_order_release);
+    const std::lock_guard lock(reader_mutex_);
+    free_slots_.push_back(slot);
 }
 
 void EbrDomain::retire(std::function<void()> deleter)
@@ -53,7 +70,8 @@ EbrDomain::Diag EbrDomain::diag() const
             if (limbo_[i].epoch < limbo_[i - 1].epoch) d.limbo_sorted = false;
     }
     const std::lock_guard lock(reader_mutex_);
-    d.registered_readers = slots_.size();
+    d.slot_capacity = slots_.size();
+    d.registered_readers = slots_.size() - free_slots_.size();
     for (const auto& slot : slots_) {
         // order: acquire — same pairing as min_active_epoch()'s scan, so the
         // auditor's invariants hold under concurrent readers too.

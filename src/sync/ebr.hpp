@@ -50,10 +50,38 @@ namespace psync {
 /// operation").
 class EbrDomain {
 public:
-    /// A reader thread's registration. Obtain via register_reader(); the slot
-    /// stays valid for the domain's lifetime.
+    /// A reader thread's registration. Obtain via register_reader(). The
+    /// registration is move-only and unregisters itself on destruction, so a
+    /// worker thread that exits returns its slot to the domain instead of
+    /// stalling reclamation forever (a destroyed-but-registered slot that
+    /// happened to die active would otherwise pin the minimum epoch). Freed
+    /// slots are recycled by later register_reader() calls, so worker pools
+    /// that start and stop repeatedly do not grow the slot table without
+    /// bound. A Reader must not outlive its domain, and enter()/exit() must
+    /// not be called on a default-constructed or moved-from Reader.
     class Reader {
     public:
+        Reader() noexcept = default;
+        Reader(Reader&& other) noexcept : domain_(other.domain_), slot_(other.slot_)
+        {
+            other.domain_ = nullptr;
+            other.slot_ = nullptr;
+        }
+        Reader& operator=(Reader&& other) noexcept
+        {
+            if (this != &other) {
+                release();
+                domain_ = other.domain_;
+                slot_ = other.slot_;
+                other.domain_ = nullptr;
+                other.slot_ = nullptr;
+            }
+            return *this;
+        }
+        Reader(const Reader&) = delete;
+        Reader& operator=(const Reader&) = delete;
+        ~Reader() { release(); }
+
         /// Marks the start of a read-side critical section.
         ///
         /// Memory orders (paired with min_active_epoch(), Dekker-style):
@@ -92,8 +120,19 @@ public:
     private:
         friend class EbrDomain;
         Reader(EbrDomain* d, std::atomic<std::uint64_t>* s) noexcept : domain_(d), slot_(s) {}
-        EbrDomain* domain_;
-        std::atomic<std::uint64_t>* slot_;
+
+        /// Returns the slot to the domain (it is forced quiescent first, so
+        /// even a Reader destroyed mid-critical-section cannot stall
+        /// reclamation). Safe on empty Readers.
+        void release() noexcept
+        {
+            if (domain_ != nullptr) domain_->unregister_reader(slot_);
+            domain_ = nullptr;
+            slot_ = nullptr;
+        }
+
+        EbrDomain* domain_ = nullptr;
+        std::atomic<std::uint64_t>* slot_ = nullptr;
     };
 
     /// RAII wrapper around Reader::enter/exit.
@@ -112,7 +151,8 @@ public:
     EbrDomain(const EbrDomain&) = delete;
     EbrDomain& operator=(const EbrDomain&) = delete;
 
-    /// Registers the calling thread as a reader. Thread-safe.
+    /// Registers the calling thread as a reader. Thread-safe. Recycles slots
+    /// returned by destroyed Readers before growing the slot table.
     [[nodiscard]] Reader register_reader();
 
     /// Queues `deleter` to run once no reader can still observe the retired
@@ -139,7 +179,11 @@ public:
         /// Smallest epoch any registered reader is currently active under;
         /// nullopt when every reader is quiescent.
         std::optional<std::uint64_t> min_active_epoch;
+        /// Live registrations (slots handed out minus slots returned).
         std::size_t registered_readers = 0;
+        /// Slots ever allocated, including ones awaiting reuse on the free
+        /// list; bounded by the peak concurrent reader count.
+        std::size_t slot_capacity = 0;
         std::size_t pending = 0;
         /// Epochs of the oldest/newest retired-but-unreclaimed objects
         /// (nullopt when limbo is empty).
@@ -173,6 +217,10 @@ private:
 
     [[nodiscard]] std::uint64_t min_active_epoch() const noexcept;
 
+    /// Returns `slot` to the free list after forcing it quiescent. Called
+    /// from Reader's destructor; thread-safe.
+    void unregister_reader(std::atomic<std::uint64_t>* slot) noexcept;
+
     struct Retired {
         std::uint64_t epoch;
         std::function<void()> deleter;
@@ -183,8 +231,11 @@ private:
     mutable std::atomic<std::uint64_t> fence_sync_{0};  // RMW target, value unused
 #endif
     mutable std::mutex reader_mutex_;
-    // Deque of stable-address slots; readers keep pointers into it.
+    // Deque of stable-address slots; readers keep pointers into it. Slots are
+    // never destroyed (addresses must stay valid for the domain's lifetime);
+    // unregistered ones park on free_slots_ for reuse.
     std::deque<std::atomic<std::uint64_t>> slots_;
+    std::vector<std::atomic<std::uint64_t>*> free_slots_;
     std::deque<Retired> limbo_;  // writer-private, ordered by epoch
 };
 

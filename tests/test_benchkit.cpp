@@ -4,6 +4,7 @@
 
 #include "benchkit/cli.hpp"
 #include "benchkit/cycles.hpp"
+#include "benchkit/json.hpp"
 #include "benchkit/runner.hpp"
 #include "benchkit/stats.hpp"
 #include "benchkit/table_printer.hpp"
@@ -77,6 +78,40 @@ TEST(Cli, QuickDefaults)
     EXPECT_EQ(args.seed(42), 42u);
 }
 
+TEST(Cli, SpaceSeparatedValuesNormalize)
+{
+    // lpmd and the e2e tests pass "--name value"; the constructor joins the
+    // pair into "--name=value". A following "--flag" is never consumed.
+    const char* argv[] = {"lpmd", "--engine", "poptrie", "--workers", "4", "--check",
+                          "--rate-mpps", "2.5"};
+    const Args args(8, const_cast<char**>(argv));
+    EXPECT_EQ(args.get("engine", ""), "poptrie");
+    EXPECT_EQ(args.get_u64("workers", 0), 4u);
+    EXPECT_TRUE(args.has("check"));
+    EXPECT_DOUBLE_EQ(args.get_double("rate-mpps", 0), 2.5);
+}
+
+TEST(Json, EscapingAndDump)
+{
+    EXPECT_EQ(json_escape("plain"), "plain");
+    EXPECT_EQ(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+    EXPECT_EQ(json_escape("line\nbreak\ttab"), "line\\nbreak\\ttab");
+
+    JsonRecords rec;
+    EXPECT_EQ(rec.dump(), "[]");
+    rec.begin_record();
+    rec.field("name", std::string_view{"pop\"trie"});
+    rec.field("mlps", 12.3456, 2);
+    rec.field("count", std::uint64_t{42});
+    rec.field("ok", true);
+    rec.begin_record();
+    rec.field("ok", false);
+    EXPECT_EQ(rec.record_count(), 2u);
+    EXPECT_EQ(rec.dump(),
+              "[{\"name\":\"pop\\\"trie\",\"mlps\":12.35,\"count\":42,\"ok\":true},"
+              "{\"ok\":false}]");
+}
+
 TEST(Cli, PrefixNamesDoNotCollide)
 {
     const char* argv[] = {"bench", "--lookups-extra=5"};
@@ -141,12 +176,68 @@ TEST(Runner, TraceReplaysExactly)
     EXPECT_EQ(r.checksum, 18u);
 }
 
-TEST(Runner, MultithreadAggregates)
+// The multithreaded measurement loop moved to dataplane/worker_pool.hpp;
+// its test lives in test_dataplane.cpp.
+
+TEST(Stats, ReservoirKeepsEverythingBelowCapacity)
 {
-    const auto lookup = [](std::uint32_t a) { return static_cast<std::uint16_t>(a & 7); };
-    const auto r = measure_random_multithread(lookup, 50'000, 2, 2);
-    EXPECT_GT(r.mlps_mean, 0.0);
-    EXPECT_GT(r.checksum, 0u);
+    Reservoir r(8);
+    for (std::uint64_t i = 0; i < 8; ++i) r.add(i * 10);
+    EXPECT_EQ(r.samples().size(), 8u);
+    EXPECT_EQ(r.observed(), 8u);
+    // Below capacity the reservoir is the stream, in order.
+    for (std::uint64_t i = 0; i < 8; ++i) EXPECT_EQ(r.samples()[i], i * 10);
+}
+
+TEST(Stats, ReservoirBoundsMemoryAndIsDeterministic)
+{
+    Reservoir a(64, 99);
+    Reservoir b(64, 99);
+    for (std::uint64_t i = 0; i < 100'000; ++i) {
+        a.add(i);
+        b.add(i);
+    }
+    EXPECT_EQ(a.samples().size(), 64u);
+    EXPECT_EQ(a.observed(), 100'000u);
+    EXPECT_EQ(a.samples(), b.samples());  // same seed, same stream → identical
+    // A uniform sample of 0..99999 should not be confined to either end.
+    const auto p = latency_percentiles(a);
+    EXPECT_GT(p.p50, 10'000.0);
+    EXPECT_LT(p.p50, 90'000.0);
+}
+
+TEST(Stats, ReservoirMergePreservesObservedCount)
+{
+    Reservoir a(32, 1);
+    Reservoir b(32, 2);
+    for (std::uint64_t i = 0; i < 1'000; ++i) a.add(i);
+    for (std::uint64_t i = 0; i < 500; ++i) b.add(i + 1'000'000);
+    Reservoir merged(32, 3);
+    merged.merge(a);
+    merged.merge(b);
+    EXPECT_EQ(merged.samples().size(), 32u);
+    EXPECT_EQ(merged.observed(), 1'500u);
+}
+
+TEST(Stats, LatencyPercentilesMatchPercentileHelper)
+{
+    std::vector<std::uint64_t> s;
+    for (std::uint64_t i = 1; i <= 1000; ++i) s.push_back(i);
+    const auto lp = latency_percentiles(s);
+    const Percentiles p(std::move(s));
+    EXPECT_DOUBLE_EQ(lp.p50, p.percentile(50));
+    EXPECT_DOUBLE_EQ(lp.p99, p.percentile(99));
+    EXPECT_DOUBLE_EQ(lp.p999, p.percentile(99.9));
+    EXPECT_EQ(lp.n, 1000u);
+    EXPECT_EQ(latency_percentiles(std::vector<std::uint64_t>{}).n, 0u);
+}
+
+TEST(Stats, MlpsFormatting)
+{
+    EXPECT_EQ(fmt_mlps(412.3651), "412.37 Mlps");
+    EXPECT_EQ(fmt_mlps(0.5, 1), "0.5 Mlps");
+    EXPECT_DOUBLE_EQ(to_mlps(2'000'000, 2.0), 1.0);
+    EXPECT_DOUBLE_EQ(to_mlps(100, 0.0), 0.0);  // guard, not a division crash
 }
 
 TEST(Cycles, CalibrationIsSane)

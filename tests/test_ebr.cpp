@@ -75,6 +75,57 @@ TEST(Ebr, GuardIsRaii)
     EXPECT_EQ(freed, 1);
 }
 
+TEST(Ebr, DestroyedReaderUnblocksReclamation)
+{
+    // Regression: a Reader destroyed while inside a critical section must
+    // return its slot as quiescent — before the RAII lifecycle existed, a
+    // worker thread exiting mid-guard pinned the minimum epoch forever.
+    EbrDomain d;
+    int freed = 0;
+    {
+        auto reader = d.register_reader();
+        reader.enter();  // never exits explicitly
+        d.retire([&] { ++freed; });
+        EXPECT_EQ(d.try_reclaim(), 0u);
+    }
+    EXPECT_GE(d.try_reclaim(), 1u);  // slot freed by the destructor
+    EXPECT_EQ(freed, 1);
+}
+
+TEST(Ebr, SlotRecyclingKeepsRegistrationBounded)
+{
+    // Repeated register/destroy cycles (worker pools starting and stopping)
+    // must reuse parked slots, not grow the slot table.
+    EbrDomain d;
+    for (int cycle = 0; cycle < 100; ++cycle) {
+        auto a = d.register_reader();
+        auto b = d.register_reader();
+        const EbrDomain::Guard g{a};
+        (void)b;
+    }
+    const auto diag = d.diag();
+    EXPECT_EQ(diag.registered_readers, 0u);
+    EXPECT_EQ(diag.slot_capacity, 2u);  // peak concurrent readers, not 200
+}
+
+TEST(Ebr, MovedReaderKeepsSlotAlive)
+{
+    EbrDomain d;
+    auto a = d.register_reader();
+    EXPECT_EQ(d.diag().registered_readers, 1u);
+    auto b = std::move(a);  // ownership transfers, no release
+    EXPECT_EQ(d.diag().registered_readers, 1u);
+    int freed = 0;
+    b.enter();
+    d.retire([&] { ++freed; });
+    EXPECT_EQ(d.try_reclaim(), 0u);  // the moved-to reader still blocks
+    b.exit();
+    d.drain();
+    EXPECT_EQ(freed, 1);
+    a = std::move(b);  // move-assign releases a's (empty) state first
+    EXPECT_EQ(d.diag().registered_readers, 1u);
+}
+
 // Threaded stress: a writer repeatedly unlinks a value and retires the old
 // storage while readers keep dereferencing through an atomic pointer under
 // Guard protection. Use-after-free here means EBR freed too early (crashes

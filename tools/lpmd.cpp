@@ -1,0 +1,366 @@
+// tools/lpmd — the LPM forwarding daemon: the repo's first binary that
+// behaves like a router rather than a library.
+//
+// Builds (or loads) a routing table, compiles the selected engine, spawns N
+// forwarding workers behind sharded SPSC rings, and feeds them synthetic
+// traffic (just-in-time xorshift addresses or a pre-materialized §4.7-style
+// trace) for a fixed duration or until SIGINT. Optionally a control-plane
+// thread replays a BGP-style update feed through the Router concurrently
+// with forwarding (--engine poptrie only), exercising §3.5 end-to-end.
+// Periodic stats lines go to stdout; a final summary (and --json record)
+// prints on shutdown.
+//
+// Exit codes follow the poptrie_fsck convention: 0 clean, 1 --check
+// violation (nothing forwarded, ring drops, or churn shortfall), 2
+// usage/input error.
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "benchkit/cli.hpp"
+#include "benchkit/json.hpp"
+#include "benchkit/stats.hpp"
+#include "dataplane/churn.hpp"
+#include "dataplane/dataplane.hpp"
+#include "dataplane/engines.hpp"
+#include "rib/aggregate.hpp"
+#include "workload/tablegen.hpp"
+#include "workload/tableio.hpp"
+#include "workload/trafficgen.hpp"
+#include "workload/xorshift.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t g_interrupted = 0;
+extern "C" void handle_signal(int) { g_interrupted = 1; }
+
+struct Options {
+    std::string engine = "poptrie";
+    unsigned workers = 4;
+    std::size_t routes = 50'000;
+    std::string file;  // load table from file instead of generating
+    double duration = 5.0;
+    double rate_mpps = 0;  // 0 = unpaced
+    std::string pattern = "random";
+    std::size_t burst = 256;
+    std::size_t ring_capacity = std::size_t{1} << 14;
+    bool pin = false;
+    unsigned direct_bits = 18;
+    std::size_t churn_updates = 0;
+    double churn_rate = 0;
+    double stats_interval = 1.0;
+    bool json = false;
+    bool check = false;
+    std::uint64_t seed = 1;
+};
+
+struct RunResult {
+    dataplane::StatsSnapshot stats;
+    benchkit::LatencyPercentiles latency;
+    double elapsed = 0;
+    std::uint64_t churn_applied = 0;
+    std::uint64_t pool_growths = 0;
+};
+
+/// Producer loop + periodic stats, shared by every engine instantiation.
+template <class Engine>
+RunResult run_pipeline(dataplane::Dataplane<Engine>& dp, const Options& opt,
+                       const std::vector<std::uint32_t>& trace,
+                       const dataplane::ChurnRunner* churn)
+{
+    using clock = std::chrono::steady_clock;
+    dp.start();
+
+    std::vector<std::uint32_t> chunk(opt.burst);
+    workload::Xorshift128 rng(opt.seed ^ 0xFEEDF00D);
+    std::size_t trace_pos = 0;
+    std::uint64_t produced = 0;
+    const auto t0 = clock::now();
+    const auto interval = std::chrono::duration_cast<clock::duration>(
+        std::chrono::duration<double>(opt.stats_interval));
+    auto next_stats = t0 + interval;
+    dataplane::StatsSnapshot last_snap;
+    double last_t = 0;
+
+    const auto elapsed_s = [&] {
+        return std::chrono::duration<double>(clock::now() - t0).count();
+    };
+
+    while (g_interrupted == 0) {
+        const double t = elapsed_s();
+        if (opt.duration > 0 && t >= opt.duration) break;
+
+        // Pacing: with --rate-mpps, don't run ahead of the address budget.
+        if (opt.rate_mpps > 0 &&
+            static_cast<double>(produced) > t * opt.rate_mpps * 1e6) {
+            std::this_thread::sleep_for(std::chrono::microseconds(50));
+        } else {
+            if (opt.pattern == "trace") {
+                for (std::size_t i = 0; i < opt.burst; ++i) {
+                    chunk[i] = trace[trace_pos++];
+                    if (trace_pos == trace.size()) trace_pos = 0;
+                }
+            } else {
+                for (std::size_t i = 0; i < opt.burst; ++i) chunk[i] = rng.next();
+            }
+            dp.offer(chunk.data(), opt.burst);
+            // Pace on offered load, not accepted: a saturated ring must not
+            // make the producer spin faster (drops then reflect overload).
+            produced += opt.burst;
+        }
+
+        const auto now = clock::now();
+        if (now >= next_stats) {
+            const auto snap = dp.stats();
+            const double now_s = std::chrono::duration<double>(now - t0).count();
+            const double mlps =
+                benchkit::to_mlps(snap.lookups() - last_snap.lookups(), now_s - last_t);
+            const std::string churn_note =
+                churn != nullptr ? " churn=" + std::to_string(churn->applied()) : "";
+            std::printf("[%7.2fs] fwd=%llu miss=%llu drops=%llu rate=%s%s\n", now_s,
+                        static_cast<unsigned long long>(snap.forwarded),
+                        static_cast<unsigned long long>(snap.no_route),
+                        static_cast<unsigned long long>(snap.ring_drops),
+                        benchkit::fmt_mlps(mlps).c_str(), churn_note.c_str());
+            std::fflush(stdout);
+            last_snap = snap;
+            last_t = now_s;
+            next_stats = now + interval;
+        }
+    }
+
+    RunResult r;
+    r.elapsed = elapsed_s();
+    dp.stop();
+    r.stats = dp.stats();
+    r.latency = benchkit::latency_percentiles(dp.merged_latency());
+    if (churn != nullptr) r.churn_applied = churn->applied();
+    return r;
+}
+
+int finish(const Options& opt, const RunResult& r, std::string_view engine_name)
+{
+    std::printf("\n--- lpmd summary (%s, %u workers, %.2fs) ---\n",
+                std::string(engine_name).c_str(), opt.workers, r.elapsed);
+    std::printf("offered    %llu\n", static_cast<unsigned long long>(r.stats.offered));
+    std::printf("forwarded  %llu\n", static_cast<unsigned long long>(r.stats.forwarded));
+    std::printf("no-route   %llu\n", static_cast<unsigned long long>(r.stats.no_route));
+    std::printf("ring-drops %llu\n", static_cast<unsigned long long>(r.stats.ring_drops));
+    std::printf("batches    %llu\n", static_cast<unsigned long long>(r.stats.batches));
+    std::printf("rate       %s\n",
+                benchkit::fmt_mlps(benchkit::to_mlps(r.stats.lookups(), r.elapsed)).c_str());
+    std::printf("latency/burst p50=%.0fns p99=%.0fns p99.9=%.0fns (n=%zu)\n",
+                r.latency.p50, r.latency.p99, r.latency.p999, r.latency.n);
+    if (opt.churn_updates > 0)
+        std::printf("churn      %llu updates applied\n",
+                    static_cast<unsigned long long>(r.churn_applied));
+
+    if (opt.json) {
+        benchkit::JsonRecords rec;
+        rec.begin_record();
+        rec.field("tool", std::string_view{"lpmd"});
+        rec.field("engine", engine_name);
+        rec.field("workers", std::uint64_t{opt.workers});
+        rec.field("elapsed_s", r.elapsed);
+        rec.field("offered", r.stats.offered);
+        rec.field("forwarded", r.stats.forwarded);
+        rec.field("no_route", r.stats.no_route);
+        rec.field("ring_drops", r.stats.ring_drops);
+        rec.field("mlps", benchkit::to_mlps(r.stats.lookups(), r.elapsed));
+        rec.field("lat_p50_ns", r.latency.p50);
+        rec.field("lat_p99_ns", r.latency.p99);
+        rec.field("lat_p999_ns", r.latency.p999);
+        rec.field("churn_applied", r.churn_applied);
+        rec.write(stdout);
+    }
+
+    if (opt.check) {
+        bool ok = true;
+        if (r.stats.forwarded == 0) {
+            std::fprintf(stderr, "lpmd --check: FAILED, nothing was forwarded\n");
+            ok = false;
+        }
+        if (r.stats.ring_drops != 0) {
+            std::fprintf(stderr, "lpmd --check: FAILED, %llu ring drops\n",
+                         static_cast<unsigned long long>(r.stats.ring_drops));
+            ok = false;
+        }
+        if (opt.churn_updates > 0 && r.churn_applied < opt.churn_updates) {
+            std::fprintf(stderr, "lpmd --check: FAILED, churn applied %llu < %zu\n",
+                         static_cast<unsigned long long>(r.churn_applied),
+                         opt.churn_updates);
+            ok = false;
+        }
+        if (r.pool_growths != 0) {
+            std::fprintf(stderr,
+                         "lpmd --check: FAILED, FIB pools grew %llu time(s) under "
+                         "live readers (raise headroom)\n",
+                         static_cast<unsigned long long>(r.pool_growths));
+            ok = false;
+        }
+        if (!ok) return 1;
+        std::printf("lpmd --check: ok\n");
+    }
+    return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv)
+{
+    const benchkit::Args args(argc, argv);
+    if (args.handle_help(
+            "lpmd",
+            "  --engine=E          poptrie | sail | dir24 | treebitmap (default poptrie)\n"
+            "  --workers=N         forwarding threads (default 4)\n"
+            "  --routes=N          synthetic table size (default 50000)\n"
+            "  --file=PATH         load IPv4 table from file instead of generating\n"
+            "  --duration=S        run time in seconds, 0 = until SIGINT (default 5)\n"
+            "  --rate-mpps=X       paced offered load, 0 = unpaced (default 0)\n"
+            "  --pattern=P         random | trace (default random)\n"
+            "  --burst=N           worker burst / producer chunk size (default 256)\n"
+            "  --ring-capacity=N   per-worker ring capacity (default 16384)\n"
+            "  --pin               pin workers to CPUs\n"
+            "  --direct-bits=N     poptrie direct-pointing bits (default 18)\n"
+            "  --churn-updates=N   concurrent route updates to apply (default 0)\n"
+            "  --churn-rate=R      updates/s pacing, 0 = unpaced (default 0)\n"
+            "  --stats-interval=S  seconds between stats lines (default 1)\n"
+            "  --json              print a machine-readable summary record\n"
+            "  --check             exit 1 unless forwarded>0 and ring-drops==0"))
+        return 0;
+
+    Options opt;
+    opt.engine = args.get("engine", opt.engine);
+    opt.workers = static_cast<unsigned>(args.get_u64("workers", opt.workers));
+    opt.routes = args.get_u64("routes", opt.routes);
+    opt.file = args.get("file", "");
+    opt.duration = args.get_double("duration", opt.duration);
+    opt.rate_mpps = args.get_double("rate-mpps", opt.rate_mpps);
+    opt.pattern = args.get("pattern", opt.pattern);
+    opt.burst = args.get_u64("burst", opt.burst);
+    opt.ring_capacity = args.get_u64("ring-capacity", opt.ring_capacity);
+    opt.pin = args.has("pin");
+    opt.direct_bits = static_cast<unsigned>(args.get_u64("direct-bits", opt.direct_bits));
+    opt.churn_updates = args.get_u64("churn-updates", opt.churn_updates);
+    opt.churn_rate = args.get_double("churn-rate", opt.churn_rate);
+    opt.stats_interval = args.get_double("stats-interval", opt.stats_interval);
+    opt.json = args.has("json");
+    opt.check = args.has("check");
+    opt.seed = args.seed(opt.seed);
+
+    if (opt.workers == 0 || opt.burst == 0 || opt.stats_interval <= 0) {
+        std::fprintf(stderr,
+                     "lpmd: --workers, --burst and --stats-interval must be nonzero\n");
+        return 2;
+    }
+    if (opt.pattern != "random" && opt.pattern != "trace") {
+        std::fprintf(stderr, "lpmd: unknown --pattern '%s'\n", opt.pattern.c_str());
+        return 2;
+    }
+    const bool engine_known = opt.engine == "poptrie" || opt.engine == "sail" ||
+                              opt.engine == "dir24" || opt.engine == "treebitmap";
+    if (!engine_known) {
+        std::fprintf(stderr, "lpmd: unknown --engine '%s'\n", opt.engine.c_str());
+        return 2;
+    }
+    if (opt.churn_updates > 0 && opt.engine != "poptrie") {
+        std::fprintf(stderr, "lpmd: --churn-updates requires --engine poptrie\n");
+        return 2;
+    }
+
+    try {
+        // --- table ---
+        rib::RouteList<netbase::Ipv4Addr> routes;
+        if (!opt.file.empty()) {
+            routes = workload::load_table4_file(opt.file);
+        } else {
+            workload::TableGenConfig tg;
+            tg.seed = opt.seed;
+            tg.target_routes = opt.routes;
+            tg.next_hops = 64;
+            routes = workload::generate_table(tg);
+        }
+        rib::RadixTrie<netbase::Ipv4Addr> rib;
+        rib.insert_all(routes);
+        std::printf("lpmd: %zu routes, engine=%s, workers=%u, pattern=%s\n",
+                    routes.size(), opt.engine.c_str(), opt.workers,
+                    opt.pattern.c_str());
+
+        std::vector<std::uint32_t> trace;
+        if (opt.pattern == "trace") {
+            workload::TraceConfig tc;
+            tc.seed = opt.seed + 7;
+            tc.packets = 2'000'000;
+            tc.distinct_destinations = std::min<std::size_t>(200'000, routes.size() * 4);
+            trace = workload::make_real_trace_like(rib, tc);
+        }
+
+        std::signal(SIGINT, handle_signal);
+        std::signal(SIGTERM, handle_signal);
+
+        dataplane::DataplaneConfig dcfg;
+        dcfg.workers = opt.workers;
+        dcfg.ring_capacity = opt.ring_capacity;
+        dcfg.burst = opt.burst;
+        dcfg.pin_cpus = opt.pin;
+
+        if (opt.engine == "poptrie") {
+            poptrie::Config pcfg;
+            pcfg.direct_bits = opt.direct_bits;
+            // Pool growth is not safe under concurrent lookups (§3.5), so a
+            // churning daemon builds with enough headroom that the update
+            // feed never has to grow; --check verifies it indeed did not.
+            if (opt.churn_updates > 0) pcfg.pool_headroom_log2 = 6;
+            router::Router4 router{pcfg};
+            dataplane::load_routes(router, routes);
+            // Bulk loading grew the pools to a near-exact fit; apply the
+            // headroom now, while no forwarding thread is running yet.
+            if (opt.churn_updates > 0) router.reserve_fib_headroom();
+            // Growths so far happened quiescently (bulk load); only growth
+            // after this point runs under live readers.
+            const auto growths_before = router.fib().update_counters().pool_growths;
+            dataplane::Dataplane<dataplane::PoptrieEngine> dp{
+                dataplane::PoptrieEngine{router}, dcfg};
+            std::unique_ptr<dataplane::ChurnRunner> churn;
+            if (opt.churn_updates > 0)
+                churn = std::make_unique<dataplane::ChurnRunner>(
+                    router, routes,
+                    dataplane::ChurnConfig{.updates = opt.churn_updates,
+                                           .rate_per_sec = opt.churn_rate});
+            auto r = run_pipeline(dp, opt, trace, churn.get());
+            if (churn) churn->stop_and_join();
+            router.drain();
+            r.pool_growths = router.fib().update_counters().pool_growths - growths_before;
+            return finish(opt, r, "poptrie");
+        }
+        // Read-only baselines are compiled from the aggregated FIB source,
+        // matching how every bench builds them (bench/common.hpp).
+        const auto fib_src = rib::aggregate(rib);
+        if (opt.engine == "sail") {
+            const baselines::Sail sail{fib_src};
+            dataplane::Dataplane<dataplane::SailEngine> dp{
+                dataplane::SailEngine{sail, "sail"}, dcfg};
+            return finish(opt, run_pipeline(dp, opt, trace, nullptr), "sail");
+        }
+        if (opt.engine == "dir24") {
+            const baselines::Dir24 dir24{fib_src};
+            dataplane::Dataplane<dataplane::Dir24Engine> dp{
+                dataplane::Dir24Engine{dir24, "dir24"}, dcfg};
+            return finish(opt, run_pipeline(dp, opt, trace, nullptr), "dir24");
+        }
+        const baselines::TreeBitmap16 tbm{fib_src};
+        dataplane::Dataplane<dataplane::TreeBitmapEngine> dp{
+            dataplane::TreeBitmapEngine{tbm, "treebitmap"}, dcfg};
+        return finish(opt, run_pipeline(dp, opt, trace, nullptr), "treebitmap");
+    } catch (const baselines::StructuralLimit& e) {
+        std::fprintf(stderr, "lpmd: engine cannot encode this table: %s\n", e.what());
+        return 2;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "lpmd: %s\n", e.what());
+        return 2;
+    }
+}
