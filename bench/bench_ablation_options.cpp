@@ -8,6 +8,8 @@
 //   * Tree BitMap stride 4 vs 6 (the "64-ary Tree BitMap still loses" point
 //     of §4.5) and DIR-24-8 as the direct-pointing ancestor.
 #include "baselines/multiway.hpp"
+#include "benchkit/json.hpp"
+#include "benchkit/provenance.hpp"
 #include "common.hpp"
 #include "rib/patricia.hpp"
 
@@ -16,14 +18,26 @@ using namespace bench;
 int main(int argc, char** argv)
 {
     const benchkit::Args args(argc, argv);
-    if (args.handle_help("bench_ablation_options")) return 0;
+    if (args.handle_help("bench_ablation_options",
+                         "  --only=S  run one section: direct | popcnt | leafvec |"
+                         " strides | batch (default all)"))
+        return 0;
     const auto lookups = args.lookups(std::size_t{1} << 22, std::size_t{1} << 25);
     const auto trials = args.trials();
+    const auto only = args.get("only", "all");
+    if (only != "all" && only != "direct" && only != "popcnt" && only != "leafvec" &&
+        only != "strides" && only != "batch") {
+        std::fprintf(stderr, "bench_ablation_options: unknown --only '%s'\n", only.c_str());
+        return 2;
+    }
+    const auto want = [&](const char* section) { return only == "all" || only == section; };
     ChecksumSink sink;
+    benchkit::JsonRecords json;
     print_host_note();
 
     const auto d = load_dataset(workload::real_tier1_a());
 
+    if (want("direct")) {
     std::printf("\nAblation 1: direct-pointing width sweep (leafvec + aggregation)\n\n");
     {
         benchkit::TablePrinter table({{"s", 2},
@@ -44,7 +58,9 @@ int main(int argc, char** argv)
                              benchkit::fmt_mean_std(r.mlps_mean, r.mlps_std)});
         }
     }
+    }
 
+    if (want("popcnt")) {
     std::printf("\nAblation 2: hardware popcnt vs software fallback (Poptrie18)\n\n");
     {
         poptrie::Config cfg;
@@ -61,8 +77,20 @@ int main(int argc, char** argv)
                     "    Hacker's-Delight bitwise version is idiom-folded to popcnt by GCC)\n",
                     benchkit::fmt_mean_std(sw.mlps_mean, sw.mlps_std).c_str(),
                     100.0 * sw.mlps_mean / hw.mlps_mean);
+        for (const auto& [variant, r] :
+             {std::pair{"hardware", hw}, std::pair{"software", sw}}) {
+            json.begin_record();
+            json.field("bench", std::string_view{"ablation"});
+            json.field("section", std::string_view{"popcnt"});
+            json.field("popcount", std::string_view{variant});
+            json.field("mlps", r.mlps_mean);
+            json.field("mlps_std", r.mlps_std);
+            benchkit::stamp_provenance(json);
+        }
+    }
     }
 
+    if (want("leafvec")) {
     std::printf("\nAblation 3: leafvec / route aggregation at s = 18\n\n");
     {
         benchkit::TablePrinter table({{"leafvec", 7},
@@ -96,7 +124,9 @@ int main(int argc, char** argv)
             }
         }
     }
+    }
 
+    if (want("strides")) {
     std::printf("\nAblation 4: multibit-trie strides and the direct-pointing ancestor\n\n");
     {
         BuildSelection sel;
@@ -131,7 +161,9 @@ int main(int argc, char** argv)
         row("DIR-24-8-BASIC", s.dir24->memory_bytes(),
             [&](std::uint32_t a) { return s.dir24->lookup(Ipv4Addr{a}); });
     }
+    }
 
+    if (want("batch")) {
     std::printf("\nAblation 5: batched lookup (lockstep lanes + prefetch, Poptrie18)\n\n");
     {
         poptrie::Config cfg;
@@ -149,6 +181,19 @@ int main(int argc, char** argv)
         sink.add(scalar.checksum);
         std::printf("  scalar:           %s Mlps\n",
                     benchkit::fmt_mean_std(scalar.mlps_mean, scalar.mlps_std).c_str());
+        const auto batch_record = [&](std::string_view variant, unsigned lanes, double mlps,
+                                      double dispersion) {
+            json.begin_record();
+            json.field("bench", std::string_view{"ablation"});
+            json.field("section", std::string_view{"batch"});
+            json.field("variant", variant);
+            json.field("lanes", std::uint64_t{lanes});
+            json.field("mlps", mlps);
+            json.field("mlps_mad", dispersion);
+            json.field("speedup_vs_scalar", scalar.mlps_mean > 0 ? mlps / scalar.mlps_mean : 0);
+            benchkit::stamp_provenance(json);
+        };
+        batch_record("scalar", 1, scalar.mlps_mean, scalar.mlps_std);
         for (const unsigned lanes : {2u, 4u, 8u, 16u}) {
             std::vector<double> rates;
             std::uint64_t cs = 0;
@@ -173,7 +218,17 @@ int main(int argc, char** argv)
             std::printf("  batch x%-2u lanes:  %s Mlps (%.2fx scalar)\n", lanes,
                         benchkit::fmt_mean_std(ms.mean, ms.std).c_str(),
                         ms.mean / scalar.mlps_mean);
+            // Median-of-trials + MAD: the dispersion benchctl's noise bands
+            // consume (one preempted trial must not skew the record).
+            batch_record("batch", lanes, benchkit::median(rates), benchkit::mad(rates));
         }
+    }
+    }
+
+    const auto json_path = args.json_out();
+    if (!json_path.empty() && !json.write_file(json_path)) {
+        std::fprintf(stderr, "bench_ablation_options: cannot write %s\n", json_path.c_str());
+        return 2;
     }
     return 0;
 }

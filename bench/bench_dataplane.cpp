@@ -6,11 +6,13 @@
 // structure embedded in a forwarding loop — ring pop, EBR guard, batched
 // lookup, counters — and what concurrent §3.5 route churn does to the tail.
 // The producer saturates the rings, so Mlps is the workers' drain rate.
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "benchkit/json.hpp"
+#include "benchkit/provenance.hpp"
 #include "common.hpp"
 #include "dataplane/churn.hpp"
 #include "dataplane/dataplane.hpp"
@@ -81,19 +83,39 @@ int main(int argc, char** argv)
     const benchkit::Args args(argc, argv);
     if (args.handle_help(
             "bench_dataplane",
-            "  --routes=N       table size (default 100000)\n"
-            "  --duration=S     seconds per cell (default 1, --full: 3)\n"
-            "  --max-workers=N  worker counts 1,2,..,N doubling (default 4)\n"
-            "  --burst=N        burst size (default 256)\n"
-            "  --churn=N        updates applied live per poptrie cell (default 20000)\n"
-            "  --pin            pin workers to CPUs\n"
-            "  --json           emit a JSON record per cell"))
+            "  --routes=N        table size (default 100000)\n"
+            "  --duration=S      seconds per cell (default 1, --full: 3)\n"
+            "  --max-workers=N   worker counts 1,2,..,N doubling (default 4)\n"
+            "  --workers-list=L  explicit comma-separated worker counts (overrides\n"
+            "                    --max-workers; e.g. 1,4 for benchctl's smoke cells)\n"
+            "  --burst=N         burst size (default 256)\n"
+            "  --churn=N         updates applied live per poptrie cell (default 20000)\n"
+            "  --pin             pin workers to CPUs\n"
+            "  --json            emit a JSON record per cell"))
         return 0;
 
     const auto routes_n = args.get_u64("routes", 100'000);
     const double duration = args.get_double("duration", args.has("full") ? 3.0 : 1.0);
     const auto max_workers = static_cast<unsigned>(args.get_u64(
         "max-workers", std::min(4u, std::max(1u, std::thread::hardware_concurrency()))));
+    std::vector<unsigned> worker_counts;
+    if (const auto list = args.get("workers-list", ""); !list.empty()) {
+        for (std::size_t pos = 0; pos < list.size();) {
+            const auto comma = std::min(list.find(',', pos), list.size());
+            const unsigned w =
+                static_cast<unsigned>(std::strtoul(list.substr(pos, comma - pos).c_str(),
+                                                   nullptr, 10));
+            if (w == 0) {
+                std::fprintf(stderr, "bench_dataplane: bad --workers-list '%s'\n",
+                             list.c_str());
+                return 2;
+            }
+            worker_counts.push_back(w);
+            pos = comma + 1;
+        }
+    } else {
+        for (unsigned w = 1; w <= max_workers; w *= 2) worker_counts.push_back(w);
+    }
     const auto churn_updates = args.get_u64("churn", 20'000);
     RunOptions opt;
     opt.duration = duration;
@@ -155,9 +177,10 @@ int main(int argc, char** argv)
         json.field("lat_p99_ns", r.lat.p99);
         json.field("lat_p999_ns", r.lat.p999);
         json.field("ring_drops", r.ring_drops);
+        benchkit::stamp_provenance(json);
     };
 
-    for (unsigned workers = 1; workers <= max_workers; workers *= 2) {
+    for (const unsigned workers : worker_counts) {
         report("poptrie", workers, false,
                run_cell(dataplane::PoptrieEngine{router}, workers, opt, nullptr));
         if (churn_updates > 0) {
@@ -176,5 +199,10 @@ int main(int argc, char** argv)
     }
 
     if (args.has("json")) json.write(stdout);
+    const auto json_path = args.json_out();
+    if (!json_path.empty() && !json.write_file(json_path)) {
+        std::fprintf(stderr, "bench_dataplane: cannot write %s\n", json_path.c_str());
+        return 2;
+    }
     return 0;
 }

@@ -1,6 +1,8 @@
 // Table 4 — per-lookup CPU cycles (mean, 50th/75th/95th/99th percentiles)
 // for SAIL, D16R/D18R, Poptrie16/18 under random traffic with a fixed seed,
 // on both Tier-1 datasets (§4.6).
+#include "benchkit/json.hpp"
+#include "benchkit/provenance.hpp"
 #include "common.hpp"
 
 using namespace bench;
@@ -27,10 +29,17 @@ constexpr PaperRow kPaperB[] = {
 int main(int argc, char** argv)
 {
     const benchkit::Args args(argc, argv);
-    if (args.handle_help("bench_table4_cycles")) return 0;
+    if (args.handle_help("bench_table4_cycles",
+                         "  --dataset=D  a | b | both (default both)"))
+        return 0;
     // Paper: 2^24 lookups; quick default 2^22.
     const auto n = args.lookups(std::size_t{1} << 22, std::size_t{1} << 24);
     const auto seed = args.seed(0);
+    const auto dataset = args.get("dataset", "both");
+    if (dataset != "a" && dataset != "b" && dataset != "both") {
+        std::fprintf(stderr, "bench_table4_cycles: --dataset must be a, b or both\n");
+        return 2;
+    }
 
     std::printf("Table 4: per-lookup CPU cycles by random traffic (TSC-based; the paper\n"
                 "used PMCs on a single-task OS — compare distribution shape, Fig. 10)\n\n");
@@ -42,9 +51,15 @@ int main(int argc, char** argv)
                                   {"95th", 6},
                                   {"99th", 6},
                                   {"paper mean/50/95/99", 20, false}});
+    benchkit::JsonRecords json;
 
     int which = 0;
     for (const auto& spec : {workload::real_tier1_a(), workload::real_tier1_b()}) {
+        const bool wanted = dataset == "both" || (which == 0 ? dataset == "a" : dataset == "b");
+        if (!wanted) {
+            ++which;
+            continue;
+        }
         const auto d = load_dataset(spec);
         const auto s = build_structures(d);
         std::printf("\n=== %s ===\n", d.name.c_str());
@@ -59,6 +74,17 @@ int main(int argc, char** argv)
                  benchkit::fmt(pct.percentile(99), 0),
                  benchkit::fmt(p.mean, 1) + "/" + benchkit::fmt(p.p50, 0) + "/" +
                      benchkit::fmt(p.p95, 0) + "/" + benchkit::fmt(p.p99, 0)});
+            json.begin_record();
+            json.field("bench", std::string_view{"table4"});
+            json.field("dataset", d.name);
+            json.field("algorithm", std::string_view{name});
+            json.field("lookups", std::uint64_t{n});
+            json.field("mean_cycles", pct.mean());
+            json.field("p50_cycles", pct.percentile(50));
+            json.field("p75_cycles", pct.percentile(75));
+            json.field("p95_cycles", pct.percentile(95));
+            json.field("p99_cycles", pct.percentile(99));
+            benchkit::stamp_provenance(json);
         };
         row("SAIL", [&](std::uint32_t a) { return s.sail->lookup(Ipv4Addr{a}); }, paper[0]);
         row("D16R", [&](std::uint32_t a) { return s.d16r->lookup(Ipv4Addr{a}); }, paper[1]);
@@ -68,6 +94,12 @@ int main(int argc, char** argv)
         row("Poptrie18", [&](std::uint32_t a) { return s.poptrie18->lookup_raw<true>(a); },
             paper[4]);
         ++which;
+    }
+
+    const auto json_path = args.json_out();
+    if (!json_path.empty() && !json.write_file(json_path)) {
+        std::fprintf(stderr, "bench_table4_cycles: cannot write %s\n", json_path.c_str());
+        return 2;
     }
     return 0;
 }

@@ -89,7 +89,8 @@ bool Args::handle_help(std::string_view bench_name, std::string_view extra) cons
     if (!has("help")) return false;
     std::printf("%.*s — Poptrie reproduction bench\n"
                 "  --quick (default) | --full   measurement scale\n"
-                "  --lookups=N  --trials=N  --seed=N\n",
+                "  --lookups=N  --trials=N  --seed=N\n"
+                "  --json-out=FILE  write machine-readable records (benchctl)\n",
                 static_cast<int>(bench_name.size()), bench_name.data());
     if (!extra.empty())
         std::printf("%.*s\n", static_cast<int>(extra.size()), extra.data());

@@ -6,6 +6,7 @@
 //   --lookups=N       override the per-measurement lookup count
 //   --trials=N        override the trial count (paper: 10)
 //   --seed=N          override workload seeds
+//   --json-out=FILE   write benchkit::JsonRecords to FILE (benchctl's hook)
 // plus bench-specific flags documented in each binary's --help.
 #pragma once
 
@@ -36,6 +37,10 @@ public:
     /// Trials: 3 quick / 10 full, overridable with --trials.
     [[nodiscard]] unsigned trials() const;
     [[nodiscard]] std::uint64_t seed(std::uint64_t fallback = 0) const;
+
+    /// Path from --json-out=FILE, or empty when the flag is absent. Benches
+    /// that support it emit their JsonRecords there for benchctl.
+    [[nodiscard]] std::string json_out() const { return get("json-out", ""); }
 
     /// Prints standard usage plus `extra` and returns true if --help given.
     bool handle_help(std::string_view bench_name, std::string_view extra = {}) const;

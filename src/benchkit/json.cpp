@@ -83,4 +83,13 @@ void JsonRecords::write(std::FILE* out) const
     std::fputc('\n', out);
 }
 
+bool JsonRecords::write_file(const std::string& path) const
+{
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    write(f);
+    std::fclose(f);
+    return true;
+}
+
 }  // namespace benchkit

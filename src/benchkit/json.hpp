@@ -39,6 +39,11 @@ public:
     /// Writes dump() to `out` with a trailing newline.
     void write(std::FILE* out) const;
 
+    /// Writes dump() to `path` (benchctl's --json-out contract: the human
+    /// table keeps stdout, the records go to a file the orchestrator can
+    /// parse without scraping). Returns false if the file cannot be opened.
+    [[nodiscard]] bool write_file(const std::string& path) const;
+
 private:
     void append_raw(std::string_view key, std::string value);
 

@@ -1,0 +1,32 @@
+#include "benchkit/provenance.hpp"
+
+#include "benchkit/json.hpp"
+
+// src/CMakeLists.txt defines these on this file alone; the fallbacks keep
+// stray builds (other build systems, IDE single-file checks) compiling.
+#ifndef POPTRIE_GIT_SHA
+#define POPTRIE_GIT_SHA "unknown"
+#endif
+#ifndef POPTRIE_BUILD_TYPE
+#define POPTRIE_BUILD_TYPE "unknown"
+#endif
+#ifndef POPTRIE_NATIVE_BUILD
+#define POPTRIE_NATIVE_BUILD 0
+#endif
+
+namespace benchkit {
+
+Provenance provenance() noexcept
+{
+    return Provenance{POPTRIE_GIT_SHA, POPTRIE_BUILD_TYPE, POPTRIE_NATIVE_BUILD != 0};
+}
+
+void stamp_provenance(JsonRecords& rec)
+{
+    const auto p = provenance();
+    rec.field("git_sha", p.git_sha);
+    rec.field("build_type", p.build_type);
+    rec.field("native", p.native);
+}
+
+}  // namespace benchkit

@@ -1,0 +1,31 @@
+// benchkit/provenance.hpp — build provenance stamped into every JsonRecords
+// emission, so a benchmark artifact is traceable to a commit and a build
+// configuration without trusting the filename it was saved under.
+//
+// The values are baked in at configure time (src/CMakeLists.txt defines them
+// on provenance.cpp only, so a SHA change rebuilds one translation unit).
+// benchctl cross-checks the stamped git_sha against the live checkout and
+// flags stale builds.
+#pragma once
+
+#include <string_view>
+
+namespace benchkit {
+
+class JsonRecords;
+
+/// The compiled-in provenance triple.
+struct Provenance {
+    std::string_view git_sha;     ///< short SHA at configure time, or "unknown"
+    std::string_view build_type;  ///< CMAKE_BUILD_TYPE, e.g. "Release"
+    bool native = false;          ///< POPTRIE_NATIVE (-march=native) on?
+};
+
+[[nodiscard]] Provenance provenance() noexcept;
+
+/// Appends "git_sha", "build_type" and "native" fields to the current
+/// record. Every machine-readable emitter (bench --json-out, lpmd --json,
+/// bench_dataplane --json) calls this once per record.
+void stamp_provenance(JsonRecords& rec);
+
+}  // namespace benchkit

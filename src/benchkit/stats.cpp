@@ -22,6 +22,27 @@ MeanStd mean_std(const std::vector<double>& samples)
     return r;
 }
 
+double median(std::vector<double> samples)
+{
+    if (samples.empty()) return 0;
+    const auto mid = samples.size() / 2;
+    std::nth_element(samples.begin(), samples.begin() + static_cast<std::ptrdiff_t>(mid),
+                     samples.end());
+    const double hi = samples[mid];
+    if (samples.size() % 2 == 1) return hi;
+    const double lo =
+        *std::max_element(samples.begin(), samples.begin() + static_cast<std::ptrdiff_t>(mid));
+    return (lo + hi) / 2.0;
+}
+
+double mad(std::vector<double> samples)
+{
+    if (samples.empty()) return 0;
+    const double m = median(samples);
+    for (double& v : samples) v = std::abs(v - m);
+    return median(std::move(samples));
+}
+
 Percentiles::Percentiles(std::vector<std::uint64_t> samples) : sorted_(std::move(samples))
 {
     std::sort(sorted_.begin(), sorted_.end());

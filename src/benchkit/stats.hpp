@@ -18,6 +18,16 @@ struct MeanStd {
 };
 [[nodiscard]] MeanStd mean_std(const std::vector<double>& samples);
 
+/// Median of the samples (0 when empty). Robust location estimate for the
+/// continuous-benchmarking records: one descheduled trial shifts a mean but
+/// not a median-of-k.
+[[nodiscard]] double median(std::vector<double> samples);
+
+/// Median absolute deviation around the median (unscaled). The noise band
+/// benchctl gates on is max(8%, 3×MAD) — MAD stays finite under the heavy
+/// tails a shared-tenancy host produces, where std does not.
+[[nodiscard]] double mad(std::vector<double> samples);
+
 /// Percentiles over a sample set (sorted internally; `q` in [0, 100]).
 class Percentiles {
 public:

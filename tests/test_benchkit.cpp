@@ -5,6 +5,7 @@
 #include "benchkit/cli.hpp"
 #include "benchkit/cycles.hpp"
 #include "benchkit/json.hpp"
+#include "benchkit/provenance.hpp"
 #include "benchkit/runner.hpp"
 #include "benchkit/stats.hpp"
 #include "benchkit/table_printer.hpp"
@@ -18,6 +19,25 @@ TEST(Stats, MeanStd)
     EXPECT_NEAR(r.std, 2.138, 0.001);  // sample std (n-1)
     EXPECT_EQ(mean_std({}).mean, 0.0);
     EXPECT_EQ(mean_std({3.5}).std, 0.0);
+}
+
+TEST(Stats, MedianOddEvenAndDegenerate)
+{
+    EXPECT_DOUBLE_EQ(median({3, 1, 2}), 2.0);
+    EXPECT_DOUBLE_EQ(median({4, 1, 3, 2}), 2.5);
+    EXPECT_DOUBLE_EQ(median({7.5}), 7.5);
+    EXPECT_DOUBLE_EQ(median({}), 0.0);
+}
+
+TEST(Stats, MadIsRobustToOutliers)
+{
+    // median 3, |dev| = [2, 1, 0, 1, 2] -> MAD 1.
+    EXPECT_DOUBLE_EQ(mad({1, 2, 3, 4, 5}), 1.0);
+    // One preempted trial must not inflate the dispersion benchctl's noise
+    // bands consume — that is the whole point of MAD over stddev.
+    EXPECT_DOUBLE_EQ(mad({10, 10, 10, 10, 1000}), 0.0);
+    EXPECT_DOUBLE_EQ(mad({}), 0.0);
+    EXPECT_DOUBLE_EQ(mad({42.0}), 0.0);
 }
 
 TEST(Stats, Percentiles)
@@ -110,6 +130,40 @@ TEST(Json, EscapingAndDump)
     EXPECT_EQ(rec.dump(),
               "[{\"name\":\"pop\\\"trie\",\"mlps\":12.35,\"count\":42,\"ok\":true},"
               "{\"ok\":false}]");
+}
+
+TEST(Json, WriteFileRoundTripsDump)
+{
+    JsonRecords rec;
+    rec.begin_record();
+    rec.field("k", std::uint64_t{1});
+    const std::string path = ::testing::TempDir() + "benchkit_write_file.json";
+    ASSERT_TRUE(rec.write_file(path));
+    std::FILE* f = std::fopen(path.c_str(), "r");
+    ASSERT_NE(f, nullptr);
+    char buf[64] = {};
+    const auto n = std::fread(buf, 1, sizeof buf - 1, f);
+    std::fclose(f);
+    std::remove(path.c_str());
+    EXPECT_EQ(std::string(buf, n), rec.dump() + "\n");
+    EXPECT_FALSE(rec.write_file("/nonexistent-dir/x.json"));
+}
+
+TEST(Json, ProvenanceStampsEveryField)
+{
+    // Every benchmark emission carries git_sha/build_type/native so a run
+    // file is attributable to an exact build (benchctl depends on this).
+    const auto p = provenance();
+    EXPECT_FALSE(p.git_sha.empty());
+    EXPECT_FALSE(p.build_type.empty());
+    JsonRecords rec;
+    rec.begin_record();
+    rec.field("k", std::uint64_t{1});
+    stamp_provenance(rec);
+    const auto out = rec.dump();
+    EXPECT_NE(out.find("\"git_sha\":\""), std::string::npos);
+    EXPECT_NE(out.find("\"build_type\":\""), std::string::npos);
+    EXPECT_NE(out.find("\"native\":"), std::string::npos);
 }
 
 TEST(Cli, PrefixNamesDoNotCollide)

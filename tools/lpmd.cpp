@@ -23,6 +23,7 @@
 
 #include "benchkit/cli.hpp"
 #include "benchkit/json.hpp"
+#include "benchkit/provenance.hpp"
 #include "benchkit/stats.hpp"
 #include "dataplane/churn.hpp"
 #include "dataplane/dataplane.hpp"
@@ -54,6 +55,7 @@ struct Options {
     double churn_rate = 0;
     double stats_interval = 1.0;
     bool json = false;
+    std::string json_out;
     bool check = false;
     std::uint64_t seed = 1;
 };
@@ -159,7 +161,7 @@ int finish(const Options& opt, const RunResult& r, std::string_view engine_name)
         std::printf("churn      %llu updates applied\n",
                     static_cast<unsigned long long>(r.churn_applied));
 
-    if (opt.json) {
+    if (opt.json || !opt.json_out.empty()) {
         benchkit::JsonRecords rec;
         rec.begin_record();
         rec.field("tool", std::string_view{"lpmd"});
@@ -175,7 +177,12 @@ int finish(const Options& opt, const RunResult& r, std::string_view engine_name)
         rec.field("lat_p99_ns", r.latency.p99);
         rec.field("lat_p999_ns", r.latency.p999);
         rec.field("churn_applied", r.churn_applied);
-        rec.write(stdout);
+        benchkit::stamp_provenance(rec);
+        if (opt.json) rec.write(stdout);
+        if (!opt.json_out.empty() && !rec.write_file(opt.json_out)) {
+            std::fprintf(stderr, "lpmd: cannot write %s\n", opt.json_out.c_str());
+            return 2;
+        }
     }
 
     if (opt.check) {
@@ -230,6 +237,7 @@ int main(int argc, char** argv)
             "  --churn-rate=R      updates/s pacing, 0 = unpaced (default 0)\n"
             "  --stats-interval=S  seconds between stats lines (default 1)\n"
             "  --json              print a machine-readable summary record\n"
+            "  --json-out=FILE     write the summary record to FILE (benchctl)\n"
             "  --check             exit 1 unless forwarded>0 and ring-drops==0"))
         return 0;
 
@@ -249,6 +257,7 @@ int main(int argc, char** argv)
     opt.churn_rate = args.get_double("churn-rate", opt.churn_rate);
     opt.stats_interval = args.get_double("stats-interval", opt.stats_interval);
     opt.json = args.has("json");
+    opt.json_out = args.json_out();
     opt.check = args.has("check");
     opt.seed = args.seed(opt.seed);
 
