@@ -26,7 +26,8 @@ constexpr const char* kHarness = "fuzz_update_rebuild";
 template <class Addr>
 void check_equivalent(const poptrie::Poptrie<Addr>& incremental,
                       const rib::RadixTrie<Addr>& rib, const poptrie::Config& cfg,
-                      std::vector<typename Addr::value_type> probes, std::size_t at_op)
+                      std::vector<typename Addr::value_type> probes, std::size_t at_op,
+                      bool expect_compacted)
 {
     const poptrie::Poptrie<Addr> rebuilt{rib, cfg};
     fuzz::boundary_probes(rib.routes(), probes);
@@ -46,6 +47,7 @@ void check_equivalent(const poptrie::Poptrie<Addr>& incremental,
     }
     analysis::AuditOptions aopt;
     aopt.random_probes = 256;
+    aopt.expect_compacted = expect_compacted;
     const auto report = analysis::audit(incremental, rib, aopt);
     if (!report.ok())
         fuzz::fail(kHarness, "audit failure on incrementally updated table",
@@ -53,7 +55,8 @@ void check_equivalent(const poptrie::Poptrie<Addr>& incremental,
 }
 
 template <class Addr>
-void run(fuzz::ByteReader& in, const poptrie::Config& cfg, unsigned checkpoint_mask)
+void run(fuzz::ByteReader& in, const poptrie::Config& cfg, unsigned checkpoint_mask,
+         bool compact_at_checkpoints)
 {
     const auto ops = fuzz::decode_ops<Addr>(in);
 
@@ -70,9 +73,16 @@ void run(fuzz::ByteReader& in, const poptrie::Config& cfg, unsigned checkpoint_m
         // Checkpoint cadence is fuzz-chosen (a power-of-two mask): some
         // inputs compare after every op, others only at the end, so both
         // "fresh damage" and "accumulated drift" schedules are explored.
-        if ((i & checkpoint_mask) == 0) check_equivalent(pt, rib, cfg, extra_probes, i);
+        // With sel bit 6 set, every checkpoint is preceded by a compaction
+        // pass, so apply()-on-compacted-pools and compact()-on-churned-pools
+        // are both fuzzed; the audit then also verifies the canonical layout.
+        if ((i & checkpoint_mask) == 0) {
+            if (compact_at_checkpoints) pt.compact();
+            check_equivalent(pt, rib, cfg, extra_probes, i, compact_at_checkpoints);
+        }
     }
-    check_equivalent(pt, rib, cfg, extra_probes, i);
+    if (compact_at_checkpoints) pt.compact();
+    check_equivalent(pt, rib, cfg, extra_probes, i, compact_at_checkpoints);
     pt.drain();
 }
 
@@ -84,9 +94,10 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size
     const auto cfg = fuzz::decode_config(in.u8());
     const std::uint8_t sel = in.u8();
     const unsigned checkpoint_mask = (1u << (sel & 0x7u)) - 1;  // 0,1,3,...,127
+    const bool compact = (sel & 0x40u) != 0;
     if ((sel & 0x80u) != 0)
-        run<netbase::Ipv6Addr>(in, cfg, checkpoint_mask);
+        run<netbase::Ipv6Addr>(in, cfg, checkpoint_mask, compact);
     else
-        run<netbase::Ipv4Addr>(in, cfg, checkpoint_mask);
+        run<netbase::Ipv4Addr>(in, cfg, checkpoint_mask, compact);
     return 0;
 }

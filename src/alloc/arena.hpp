@@ -1,0 +1,214 @@
+// alloc/arena.hpp — page-aligned arena backing the FIB's flat arrays.
+//
+// Poptrie's performance argument (§3.1, §4.4) is that the whole FIB is small
+// and contiguous enough to live in cache — but the *TLB* sees page-sized
+// chunks, and a 1 MiB direct-pointing array on 4 KiB pages alone costs 256
+// TLB entries before a single node is touched. This arena maps the node,
+// leaf, and direct arrays with mmap and asks the kernel for huge pages:
+//
+//   * HugepagePolicy::kAuto  — anonymous mmap + madvise(MADV_HUGEPAGE), so
+//     THP backs the arrays when the system allows it (the common case);
+//   * HugepagePolicy::kOn    — explicit MAP_HUGETLB first (pre-reserved
+//     2 MiB pages, no khugepaged latency), falling back to the kAuto path
+//     when the reservation is empty — CI runners have no hugepages at all;
+//   * HugepagePolicy::kOff   — plain mmap, for A/B measurement.
+//
+// The backing *actually obtained* is recorded per block and aggregated into
+// a MemoryReport (the weakest live backing wins), which benchkit stamps into
+// bench provenance so hugepage and non-hugepage runs are distinguishable.
+// Non-Linux builds degrade to zeroed heap blocks and report Backing::kHeap.
+//
+// ArenaVector<T> is the minimal std::vector replacement the pools need:
+// trivially-copyable elements, geometric growth, zero-fill on resize. It is
+// a control-path container — growth remaps and memcpys, so (like the
+// vectors it replaces) growing is NOT safe under concurrent readers.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <string>
+#include <type_traits>
+#include <utility>
+
+namespace alloc {
+
+/// How hard the arena tries to obtain huge pages (Config::hugepages).
+enum class HugepagePolicy {
+    kAuto,  ///< madvise(MADV_HUGEPAGE): THP if available, silent otherwise
+    kOn,    ///< MAP_HUGETLB first, then the kAuto path — never fails outright
+    kOff,   ///< normal pages only (A/B baseline)
+};
+
+/// What actually backs a mapped block, weakest to strongest.
+enum class Backing {
+    kHeap,         ///< zeroed heap block (non-Linux or mmap failure)
+    kNormalPages,  ///< anonymous mmap, base page size
+    kThpAdvised,   ///< anonymous mmap + MADV_HUGEPAGE accepted by the kernel
+    kHugetlb,      ///< explicit MAP_HUGETLB reservation
+};
+
+/// Stable lowercase name for provenance / logs ("hugetlb", "thp-advised",
+/// "normal-pages", "heap").
+[[nodiscard]] const char* backing_name(Backing b) noexcept;
+
+/// Aggregate view of an arena's live mappings.
+struct MemoryReport {
+    Backing backing = Backing::kHeap;  ///< weakest backing among live blocks
+    std::size_t page_size = 0;         ///< page size of that backing, bytes
+    std::size_t bytes_reserved = 0;    ///< total bytes currently mapped
+    bool hugetlb_requested = false;    ///< policy was kOn
+    bool hugetlb_failed = false;       ///< MAP_HUGETLB was tried and refused
+};
+
+/// Test hook: when set, MAP_HUGETLB attempts fail deterministically (as on a
+/// machine with an empty hugepage reservation), exercising the fallback path
+/// regardless of host configuration. Not thread-safe; set before mapping.
+void set_force_hugetlb_failure(bool force) noexcept;
+
+/// The kernel's transparent-hugepage mode: the bracketed token of
+/// /sys/kernel/mm/transparent_hugepage/enabled ("always", "madvise",
+/// "never"), or "unavailable" when the file cannot be read.
+[[nodiscard]] std::string thp_status();
+
+/// Owns the mapping policy and accounts for the blocks handed out. Blocks
+/// are held by ArenaVectors, which return them via unmap(); the arena must
+/// outlive every vector it backs (Poptrie keeps it in a unique_ptr declared
+/// before the pools for exactly that reason).
+class Arena {
+public:
+    /// One mapped block. `bytes` is the mapped length (page-rounded), needed
+    /// to unmap; `backing` selects the deallocation path.
+    struct Block {
+        void* ptr = nullptr;
+        std::size_t bytes = 0;
+        Backing backing = Backing::kHeap;
+    };
+
+    explicit Arena(HugepagePolicy policy = HugepagePolicy::kAuto) noexcept
+        : policy_(policy)
+    {
+    }
+    Arena(const Arena&) = delete;
+    Arena& operator=(const Arena&) = delete;
+    ~Arena() = default;
+
+    /// Maps a zero-filled block of at least `bytes` bytes (page-rounded up).
+    /// Never returns a null block: every backing failure falls through to
+    /// the next-weaker one, ending at the heap.
+    [[nodiscard]] Block map(std::size_t bytes);
+
+    /// Returns a block obtained from map(). Safe on empty blocks.
+    void unmap(Block& block) noexcept;
+
+    [[nodiscard]] MemoryReport report() const noexcept;
+    [[nodiscard]] HugepagePolicy policy() const noexcept { return policy_; }
+
+private:
+    HugepagePolicy policy_;
+    // Live block/byte counts per Backing enumerator, for report().
+    std::size_t live_blocks_[4] = {};
+    std::size_t live_bytes_ = 0;
+    bool hugetlb_failed_ = false;
+};
+
+/// Flat array of trivially-copyable elements in arena-backed storage. Only
+/// the surface Poptrie's pools use: size/capacity, element access, resize
+/// (zero-fills growth, like value-initialising std::vector), assign.
+template <class T>
+class ArenaVector {
+    static_assert(std::is_trivially_copyable_v<T>,
+                  "ArenaVector memcpys on growth; elements must be trivially copyable");
+
+public:
+    ArenaVector() noexcept = default;
+    explicit ArenaVector(Arena* arena) noexcept : arena_(arena) {}
+    ArenaVector(ArenaVector&& other) noexcept
+        : arena_(other.arena_), block_(other.block_), size_(other.size_)
+    {
+        other.block_ = {};
+        other.size_ = 0;
+    }
+    ArenaVector& operator=(ArenaVector&& other) noexcept
+    {
+        if (this != &other) {
+            release();
+            arena_ = other.arena_;
+            block_ = other.block_;
+            size_ = other.size_;
+            other.block_ = {};
+            other.size_ = 0;
+        }
+        return *this;
+    }
+    ArenaVector(const ArenaVector&) = delete;
+    ArenaVector& operator=(const ArenaVector&) = delete;
+    ~ArenaVector() { release(); }
+
+    [[nodiscard]] std::size_t size() const noexcept { return size_; }
+    [[nodiscard]] std::size_t capacity() const noexcept
+    {
+        return block_.bytes / sizeof(T);
+    }
+    [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+
+    [[nodiscard]] T* data() noexcept { return static_cast<T*>(block_.ptr); }
+    [[nodiscard]] const T* data() const noexcept
+    {
+        return static_cast<const T*>(block_.ptr);
+    }
+    [[nodiscard]] T* begin() noexcept { return data(); }
+    [[nodiscard]] T* end() noexcept { return data() + size_; }
+    [[nodiscard]] const T* begin() const noexcept { return data(); }
+    [[nodiscard]] const T* end() const noexcept { return data() + size_; }
+    [[nodiscard]] T& operator[](std::size_t i) noexcept { return data()[i]; }
+    [[nodiscard]] const T& operator[](std::size_t i) const noexcept { return data()[i]; }
+
+    /// Grows or shrinks to `n` elements; new elements are zero bytes (all
+    /// pool element types value-initialise to exactly that). Quiescent-point
+    /// only when growth is possible — growing remaps the storage.
+    void resize(std::size_t n)
+    {
+        if (n > capacity()) grow_to(n);
+        // void* cast: T is trivially copyable (asserted above) but may have
+        // default member initialisers, which -Wclass-memaccess objects to;
+        // all-zero bytes IS the value-initialised state of every pool type.
+        if (n > size_)
+            std::memset(static_cast<void*>(data() + size_), 0, (n - size_) * sizeof(T));
+        size_ = n;
+    }
+
+    /// Replaces the contents with `n` copies of `value`.
+    void assign(std::size_t n, const T& value)
+    {
+        if (n > capacity()) grow_to(n);
+        size_ = n;
+        T* p = data();
+        for (std::size_t i = 0; i < n; ++i) p[i] = value;
+    }
+
+private:
+    void grow_to(std::size_t n)
+    {
+        // Geometric growth amortises repeated resize; the mapping is
+        // page-granular anyway, so doubling wastes at most one remap's
+        // worth of headroom.
+        const std::size_t want = std::max(n, capacity() * 2);
+        Arena::Block fresh = arena_->map(want * sizeof(T));
+        if (size_ != 0) std::memcpy(fresh.ptr, block_.ptr, size_ * sizeof(T));
+        if (block_.ptr != nullptr) arena_->unmap(block_);
+        block_ = fresh;
+    }
+
+    void release() noexcept
+    {
+        if (arena_ != nullptr && block_.ptr != nullptr) arena_->unmap(block_);
+        block_ = {};
+        size_ = 0;
+    }
+
+    Arena* arena_ = nullptr;
+    Arena::Block block_{};
+    std::size_t size_ = 0;
+};
+
+}  // namespace alloc

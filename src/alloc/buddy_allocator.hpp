@@ -12,6 +12,7 @@
 // favour clarity and strong invariants over nanosecond alloc cost.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <set>
@@ -40,6 +41,14 @@ public:
     /// error and asserts in debug builds.
     void free(index_type offset, index_type count);
 
+    /// Marks the specific block [offset, offset + block_size_for(count)) as
+    /// allocated, splitting the containing free block as needed. `offset`
+    /// must be aligned to the rounded block size. Returns false (allocator
+    /// unchanged) if the block is not entirely free. Used by the compaction
+    /// pass to rebuild an allocator that exactly describes a bump-laid-out
+    /// pool; `free(offset, count)` releases it like any allocation.
+    [[nodiscard]] bool reserve(index_type offset, index_type count);
+
     /// Doubles the pool. New slots become immediately allocatable. Existing
     /// allocations are unaffected (indices are stable).
     void grow();
@@ -52,6 +61,16 @@ public:
 
     /// Largest run currently allocatable, 0 if the pool is full.
     [[nodiscard]] index_type largest_free_run() const noexcept;
+
+    /// Number of blocks on the free lists. Together with largest_free_run()
+    /// this is the fragmentation signal Poptrie::Stats exposes: a fresh or
+    /// freshly-compacted pool has O(log capacity) free blocks, a churned one
+    /// accumulates many small ones.
+    [[nodiscard]] std::size_t free_block_count() const noexcept;
+
+    /// One past the highest slot ever handed out (by allocate or reserve);
+    /// never decreases. The touched extent of the backing array.
+    [[nodiscard]] index_type high_water() const noexcept { return high_water_; }
 
     /// True if every slot is free (useful as a leak check in tests).
     [[nodiscard]] bool all_free() const noexcept { return used_ == 0; }
@@ -86,6 +105,7 @@ private:
     std::vector<std::set<index_type>> free_lists_;
     index_type capacity_ = 0;
     index_type used_ = 0;
+    index_type high_water_ = 0;
 };
 
 }  // namespace alloc

@@ -264,8 +264,8 @@ private:
         }
     }
 
-    const std::vector<Node>& nodes_;
-    const std::vector<rib::NextHop>& leaves_;
+    const typename PT::NodePool& nodes_;
+    const typename PT::LeafPool& leaves_;
     bool leaf_compression_;
     AuditReport& report_;
     std::vector<bool> visited_;
@@ -324,6 +324,34 @@ void check_runs_against_allocator(AuditReport& r, std::vector<LiveRun> runs,
     else if (ebr_pending == 0 && live_total != alloc.used())
         r.add(what + "-leak", "used() " + std::to_string(alloc.used()) + " != live " +
                                   std::to_string(live_total) + " with empty limbo");
+}
+
+/// Post-compaction layout check: compact() places runs at exactly the DFS
+/// aligned-bump offsets, and the walker records runs in exactly compact()'s
+/// traversal order, so the canonical layout can be replayed and compared
+/// run by run. The bump rule (Poptrie::bump_offset) is a static shared with
+/// the compactor and independent of the address family.
+void check_compacted_layout(AuditReport& r, const std::vector<LiveRun>& runs,
+                            const alloc::BuddyAllocator& alloc, const std::string& what)
+{
+    std::uint64_t cursor = 0;
+    for (const auto& run : runs) {
+        const std::uint32_t expect =
+            poptrie::Poptrie<netbase::Ipv4Addr>::bump_offset(cursor, run.count);
+        if (run.offset != expect) {
+            r.add(what + "-not-compacted",
+                  "run of " + std::to_string(run.count) + " at " +
+                      std::to_string(run.offset) + ", canonical DFS layout says " +
+                      std::to_string(expect));
+            return;  // every later offset shifts too; one violation suffices
+        }
+        cursor = std::uint64_t{expect} + run.size;
+    }
+    if (alloc.high_water() != cursor)
+        r.add(what + "-not-dense", "allocator high water " +
+                                       std::to_string(alloc.high_water()) +
+                                       " != compacted layout extent " +
+                                       std::to_string(cursor));
 }
 
 template <class Addr>
@@ -391,6 +419,13 @@ AuditReport audit(const poptrie::Poptrie<Addr>& pt, const rib::RadixTrie<Addr>& 
               "pool " + std::to_string(AuditAccess::leaves(pt).size()) +
                   " != allocator capacity " +
                   std::to_string(AuditAccess::leaf_alloc(pt).capacity()));
+
+    // 2b. Canonical compacted layout, when the caller vouches the table was
+    // just compacted (poptrie_fsck --compact, the compaction tests).
+    if (opt.expect_compacted) {
+        check_compacted_layout(r, walker.node_runs(), AuditAccess::node_alloc(pt), "node");
+        check_compacted_layout(r, walker.leaf_runs(), AuditAccess::leaf_alloc(pt), "leaf");
+    }
 
     // 3. Allocator free lists and EBR epochs.
     r.merge(audit_allocator(AuditAccess::node_alloc(pt)), "node-alloc/");

@@ -88,6 +88,11 @@ struct AuditOptions {
     /// many routes; larger tables fall back to random probing only.
     std::size_t max_boundary_routes = 100'000;
     std::uint64_t seed = 0x9E3779B9u;
+    /// The table was just compacted (Poptrie::compact()) and nothing has
+    /// been applied since: additionally verify the canonical layout — every
+    /// run at exactly the DFS aligned-bump offset (Poptrie::bump_offset)
+    /// and the allocators' high-water marks dense against the layout.
+    bool expect_compacted = false;
 };
 
 /// Checks a buddy allocator's free lists: block alignment and bounds, no
@@ -143,34 +148,36 @@ struct AuditAccess {
     template <class Addr>
     using PT = poptrie::Poptrie<Addr>;
 
+    // Deduced return types: the pools are arena-backed containers
+    // (Poptrie::NodePool et al.), and spelling the type here would couple
+    // every audit call site to the storage choice.
     template <class Addr>
-    [[nodiscard]] static const std::vector<typename PT<Addr>::Node>& nodes(
-        const PT<Addr>& p) noexcept
+    [[nodiscard]] static const auto& nodes(const PT<Addr>& p) noexcept
     {
         return p.nodes_;
     }
     template <class Addr>
-    [[nodiscard]] static std::vector<typename PT<Addr>::Node>& nodes(PT<Addr>& p) noexcept
+    [[nodiscard]] static auto& nodes(PT<Addr>& p) noexcept
     {
         return p.nodes_;
     }
     template <class Addr>
-    [[nodiscard]] static const std::vector<rib::NextHop>& leaves(const PT<Addr>& p) noexcept
+    [[nodiscard]] static const auto& leaves(const PT<Addr>& p) noexcept
     {
         return p.leaves_;
     }
     template <class Addr>
-    [[nodiscard]] static std::vector<rib::NextHop>& leaves(PT<Addr>& p) noexcept
+    [[nodiscard]] static auto& leaves(PT<Addr>& p) noexcept
     {
         return p.leaves_;
     }
     template <class Addr>
-    [[nodiscard]] static const std::vector<std::uint32_t>& direct(const PT<Addr>& p) noexcept
+    [[nodiscard]] static const auto& direct(const PT<Addr>& p) noexcept
     {
         return p.direct_;
     }
     template <class Addr>
-    [[nodiscard]] static std::vector<std::uint32_t>& direct(PT<Addr>& p) noexcept
+    [[nodiscard]] static auto& direct(PT<Addr>& p) noexcept
     {
         return p.direct_;
     }

@@ -1,5 +1,11 @@
 #include "benchkit/provenance.hpp"
 
+#include <unistd.h>
+
+#include <cstdint>
+#include <utility>
+
+#include "alloc/arena.hpp"
 #include "benchkit/json.hpp"
 
 // src/CMakeLists.txt defines these on this file alone; the fallbacks keep
@@ -16,6 +22,12 @@
 
 namespace benchkit {
 
+namespace {
+// Setup-path global (set once before the measurement loop, read at record
+// emission); no synchronization by design, like the rest of benchkit.
+std::string g_arena_backing;  // NOLINT(runtime/string)
+}  // namespace
+
 Provenance provenance() noexcept
 {
     return Provenance{POPTRIE_GIT_SHA, POPTRIE_BUILD_TYPE, POPTRIE_NATIVE_BUILD != 0};
@@ -27,6 +39,12 @@ void stamp_provenance(JsonRecords& rec)
     rec.field("git_sha", p.git_sha);
     rec.field("build_type", p.build_type);
     rec.field("native", p.native);
+    rec.field("page_size_bytes",
+              static_cast<std::uint64_t>(::sysconf(_SC_PAGESIZE)));
+    rec.field("thp", alloc::thp_status());
+    if (!g_arena_backing.empty()) rec.field("arena_backing", g_arena_backing);
 }
+
+void note_arena_backing(std::string backing) { g_arena_backing = std::move(backing); }
 
 }  // namespace benchkit

@@ -6,8 +6,14 @@
 // on provenance.cpp only, so a SHA change rebuilds one translation unit).
 // benchctl cross-checks the stamped git_sha against the live checkout and
 // flags stale builds.
+// Memory-layout provenance rides along: the page size, the kernel's THP
+// mode, and — when the tool under measurement reports it via
+// note_arena_backing() — the backing the FIB arena actually obtained. A
+// hugepage-backed run and a 4 KiB-page run of the same commit are different
+// experiments (§4.4 is a cache/TLB argument), and the records must say so.
 #pragma once
 
+#include <string>
 #include <string_view>
 
 namespace benchkit {
@@ -24,8 +30,17 @@ struct Provenance {
 [[nodiscard]] Provenance provenance() noexcept;
 
 /// Appends "git_sha", "build_type" and "native" fields to the current
-/// record. Every machine-readable emitter (bench --json-out, lpmd --json,
-/// bench_dataplane --json) calls this once per record.
+/// record, plus the memory-layout environment: "page_size_bytes"
+/// (sysconf), "thp" (alloc::thp_status()), and "arena_backing" when
+/// note_arena_backing() was called. Every machine-readable emitter (bench
+/// --json-out, lpmd --json, bench_dataplane --json) calls this once per
+/// record.
 void stamp_provenance(JsonRecords& rec);
+
+/// Records the backing the measured structure's arena actually obtained
+/// (alloc::backing_name of Poptrie::memory_report().backing) for subsequent
+/// stamp_provenance() calls. Process-wide, call from the setup path before
+/// emitting records; unset, records carry no "arena_backing" field.
+void note_arena_backing(std::string backing);
 
 }  // namespace benchkit

@@ -38,6 +38,15 @@ void ChurnRunner::run(std::vector<workload::UpdateEvent> events, ChurnConfig cfg
     const auto start = std::chrono::steady_clock::now();
     for (std::size_t i = 0; i < events.size(); ++i) {
         if (stop_.requested()) return;
+        if (gate_.pause_requested()) {
+            // Park between updates — the FIB is structurally consistent
+            // here, so the pausing thread may compact it. Deadline pacing
+            // below absorbs the parked time by bursting briefly afterwards.
+            gate_.enter_park();
+            while (gate_.pause_requested() && !stop_.requested())
+                std::this_thread::sleep_for(std::chrono::microseconds(50));
+            if (stop_.requested()) return;
+        }
         if (cfg.rate_per_sec > 0) {
             const auto deadline =
                 start + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
@@ -63,6 +72,22 @@ void ChurnRunner::stop_and_join()
     stop_.request();
     if (thread_.joinable()) thread_.join();
 }
+
+void ChurnRunner::pause()
+{
+    const auto token = gate_.request_pause();
+    while (!gate_.parked_since(token)) {
+        if (finished()) {
+            // The feed ran out instead of parking; join for the full
+            // happens-before edge the park would have given us.
+            if (thread_.joinable()) thread_.join();
+            return;
+        }
+        std::this_thread::yield();
+    }
+}
+
+void ChurnRunner::resume() noexcept { gate_.resume(); }
 
 ChurnRunner::~ChurnRunner() { stop_and_join(); }
 

@@ -56,6 +56,14 @@ public:
     void stop_and_join();
     ~ChurnRunner();
 
+    /// Quiescent-point handshake: blocks until the churn thread is parked
+    /// between updates (or the feed finished, in which case the thread is
+    /// joined). While paused, the caller may act as the Router's writer —
+    /// lpmd --compact-every runs Router::compact_fib() here. Balance every
+    /// pause() with resume().
+    void pause();
+    void resume() noexcept;
+
     ChurnRunner(const ChurnRunner&) = delete;
     ChurnRunner& operator=(const ChurnRunner&) = delete;
 
@@ -82,6 +90,7 @@ private:
 
     router::Router4& router_;
     psync::StopFlag stop_;
+    psync::PauseGate gate_;
     psync::EventCounter applied_;
     psync::EventCounter announcements_;
     psync::EventCounter withdrawals_;

@@ -101,12 +101,17 @@ public:
 
     /// Requests shutdown: workers drain their rings, then exit; blocks until
     /// all have joined. Idempotent. The producer must have stopped offering.
+    /// The pipeline is restartable: the stop flag is rearmed after the join,
+    /// so start() spawns a fresh worker pool — lpmd --compact-every pauses
+    /// and resumes forwarding around quiescent-point FIB compaction this way
+    /// (counters and latency reservoirs carry across the restart).
     void stop()
     {
         if (!pool_) return;
         stop_.request();
         pool_->join();
         pool_.reset();
+        stop_.reset();  // all pollers joined: safe to rearm
     }
 
     [[nodiscard]] bool running() const noexcept { return pool_ != nullptr; }

@@ -176,6 +176,12 @@ Stats Poptrie<Addr>::stats() const noexcept
                         direct_.capacity() * sizeof(std::uint32_t);
     s.node_pool_used = node_alloc_->used();
     s.leaf_pool_used = leaf_alloc_->used();
+    s.node_free_blocks = node_alloc_->free_block_count();
+    s.leaf_free_blocks = leaf_alloc_->free_block_count();
+    s.node_largest_free_run = node_alloc_->largest_free_run();
+    s.leaf_largest_free_run = leaf_alloc_->largest_free_run();
+    s.node_high_water = node_alloc_->high_water();
+    s.leaf_high_water = leaf_alloc_->high_water();
     return s;
 }
 

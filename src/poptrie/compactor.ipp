@@ -1,0 +1,158 @@
+// poptrie/compactor.ipp — quiescent-point FIB compaction (included by
+// poptrie.cpp; do not include directly).
+//
+// A long §3.5 churn feed keeps the buddy pools *compact* (coalescing bounds
+// the footprint) but not *ordered*: replacement arrays land wherever the
+// smallest fitting free block happens to be, so after a million updates the
+// hot subtrees are scattered across the pools in allocation order and a
+// lookup walk strides the whole array instead of one cache neighbourhood.
+// compact() restores the fresh-build layout — better, a canonical one:
+//
+//   * every reachable subtree is copied into fresh arena-backed pools in
+//     DFS pre-order with an aligned bump cursor (bump_offset): a node's
+//     leaf run, then its child run, then each child's subtree in order, so
+//     children are contiguous and adjacent to their parent;
+//   * new buddy allocators are rebuilt as the exact image of that layout
+//     via BuddyAllocator::reserve, then grown to the configured headroom —
+//     subsequent incremental updates continue as if freshly built;
+//   * root/direct indices are republished and the old arrays retired
+//     through the EBR domain.
+//
+// Reader-safety contract: quiescent-point ONLY. The pool storage itself is
+// swapped, which no publication order makes safe under concurrent lookups;
+// callers pause forwarding threads first (lpmd --compact-every stops its
+// worker pool around the call). The auditor replays the bump layout after
+// compaction to verify dense, DFS-ordered occupancy (analysis::audit with
+// AuditOptions::expect_compacted).
+#pragma once
+
+#include <algorithm>
+#include <cassert>
+#include <memory>
+
+#include "poptrie/poptrie.hpp"
+
+namespace poptrie {
+
+template <class Addr>
+typename Poptrie<Addr>::Node Poptrie<Addr>::compact_node(const Node& old, CompactPools& out)
+{
+    Node n = old;
+    const std::uint32_t nleaves = leaf_count_of(old);
+    if (nleaves != 0) {
+        const std::uint32_t b0 = bump_offset(out.leaf_cursor, nleaves);
+        out.leaf_cursor = std::uint64_t{b0} + alloc::BuddyAllocator::block_size_for(nleaves);
+        out.leaf_runs.emplace_back(b0, nleaves);
+        if (out.leaves.size() < out.leaf_cursor) out.leaves.resize(out.leaf_cursor);
+        std::copy(leaves_.begin() + old.base0, leaves_.begin() + old.base0 + nleaves,
+                  out.leaves.begin() + b0);
+        n.base0 = b0;
+    } else {
+        n.base0 = 0;
+    }
+    const auto nkids = static_cast<std::uint32_t>(netbase::popcount64(old.vector));
+    if (nkids != 0) {
+        const std::uint32_t b1 = bump_offset(out.node_cursor, nkids);
+        out.node_cursor = std::uint64_t{b1} + alloc::BuddyAllocator::block_size_for(nkids);
+        out.node_runs.emplace_back(b1, nkids);
+        if (out.nodes.size() < out.node_cursor) out.nodes.resize(out.node_cursor);
+        n.base1 = b1;
+        for (std::uint32_t i = 0; i < nkids; ++i)
+            out.nodes[b1 + i] = compact_node(nodes_[old.base1 + i], out);
+    } else {
+        n.base1 = 0;
+    }
+    return n;
+}
+
+template <class Addr>
+std::uint32_t Poptrie<Addr>::compact_root(std::uint32_t index, CompactPools& out)
+{
+    // A published root is its own single-node block (exactly as build_root
+    // and update_direct_slot allocate them).
+    const std::uint32_t fresh = bump_offset(out.node_cursor, 1);
+    out.node_cursor = std::uint64_t{fresh} + 1;
+    out.node_runs.emplace_back(fresh, 1);
+    if (out.nodes.size() < out.node_cursor) out.nodes.resize(out.node_cursor);
+    const Node copied = compact_node(nodes_[index], out);
+    out.nodes[fresh] = copied;
+    return fresh;
+}
+
+template <class Addr>
+void Poptrie<Addr>::compact()
+{
+    // 1. Flush deferred reclamation: limbo deleters free into the *current*
+    // allocators (retire_nodes/retire_leaves capture raw pointers to them),
+    // so they must all run before the allocators are replaced.
+    ebr_->drain();
+
+    // 2. DFS-copy every reachable subtree into fresh pools.
+    CompactPools out;
+    out.nodes = NodePool(arena_.get());
+    out.leaves = LeafPool(arena_.get());
+
+    std::uint32_t fresh_root = 0;
+    // Direct slots holding node indices, with their compacted replacements.
+    std::vector<std::pair<std::size_t, std::uint32_t>> republish;
+    if (cfg_.direct_bits == 0) {
+        fresh_root = compact_root(root_, out);
+    } else {
+        for (std::size_t d = 0; d < direct_.size(); ++d) {
+            const std::uint32_t v = direct_[d];
+            if ((v & kDirectLeafBit) == 0) republish.emplace_back(d, compact_root(v, out));
+        }
+    }
+
+    // 3. Rebuild the buddy allocators as the exact image of the bump layout,
+    // then apply the same headroom policy as a fresh build so subsequent
+    // updates never grow under readers.
+    const std::uint64_t node_target =
+        std::max(out.node_cursor,
+                 std::uint64_t{std::max<std::size_t>(1024, inode_count_)}
+                     << cfg_.pool_headroom_log2);
+    const std::uint64_t leaf_target =
+        std::max(out.leaf_cursor,
+                 std::uint64_t{std::max<std::size_t>(1024, leaf_count_)}
+                     << cfg_.pool_headroom_log2);
+    auto fresh_node_alloc =
+        std::make_unique<alloc::BuddyAllocator>(static_cast<std::uint32_t>(node_target));
+    auto fresh_leaf_alloc =
+        std::make_unique<alloc::BuddyAllocator>(static_cast<std::uint32_t>(leaf_target));
+    for (const auto& [off, count] : out.node_runs) {
+        const bool ok = fresh_node_alloc->reserve(off, count);
+        assert(ok && "compact(): bump layout not representable in buddy allocator");
+        (void)ok;
+    }
+    for (const auto& [off, count] : out.leaf_runs) {
+        const bool ok = fresh_leaf_alloc->reserve(off, count);
+        assert(ok && "compact(): bump layout not representable in buddy allocator");
+        (void)ok;
+    }
+    out.nodes.resize(fresh_node_alloc->capacity());
+    out.leaves.resize(fresh_leaf_alloc->capacity());
+
+    // 4. Swap in the fresh pools and retire the old arrays through EBR.
+    // retire() takes a copyable std::function, so the move-only pools ride
+    // in shared_ptrs; the storage is released when the deleter runs (the
+    // arena outlives it — see the member declaration order in poptrie.hpp).
+    auto old_nodes = std::make_shared<NodePool>(std::move(nodes_));
+    auto old_leaves = std::make_shared<LeafPool>(std::move(leaves_));
+    nodes_ = std::move(out.nodes);
+    leaves_ = std::move(out.leaves);
+    node_alloc_ = std::move(fresh_node_alloc);
+    leaf_alloc_ = std::move(fresh_leaf_alloc);
+    ebr_->retire([old_nodes, old_leaves]() mutable {
+        old_nodes.reset();
+        old_leaves.reset();
+    });
+
+    // 5. Republish the entry points into the compacted pools.
+    if (cfg_.direct_bits == 0) {
+        psync::store_release(root_, fresh_root);
+    } else {
+        for (const auto& [d, idx] : republish) psync::store_release(direct_[d], idx);
+    }
+}
+
+}  // namespace poptrie

@@ -4,6 +4,8 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "alloc/arena.hpp"
+
 namespace poptrie {
 
 /// Options controlling how a Poptrie is compiled. The defaults correspond to
@@ -27,6 +29,12 @@ struct Config {
     /// 2^pool_headroom_log2, so incremental updates rarely need to grow the
     /// pools (growing is not safe under concurrent lookups; see Poptrie docs).
     unsigned pool_headroom_log2 = 1;
+
+    /// Page backing for the node/leaf/direct arrays (alloc/arena.hpp):
+    /// kAuto advises THP, kOn demands MAP_HUGETLB (with graceful fallback),
+    /// kOff measures on plain pages. The backing actually obtained is
+    /// reported by Poptrie::memory_report().
+    alloc::HugepagePolicy hugepages = alloc::HugepagePolicy::kAuto;
 };
 
 /// Size and shape statistics, matching the columns of Table 2.
@@ -48,6 +56,18 @@ struct Stats {
     /// to the empty-table baseline — the tests use them as a leak check.
     std::size_t node_pool_used = 0;
     std::size_t leaf_pool_used = 0;
+
+    /// Fragmentation signals (per pool): how many blocks sit on the buddy
+    /// free lists, the largest run still allocatable, and the high-water
+    /// mark (one past the highest slot ever handed out). A fresh or
+    /// freshly-compacted pool has few free blocks and a high-water close to
+    /// the live size; a long churn feed scatters both.
+    std::size_t node_free_blocks = 0;
+    std::size_t leaf_free_blocks = 0;
+    std::size_t node_largest_free_run = 0;
+    std::size_t leaf_largest_free_run = 0;
+    std::size_t node_high_water = 0;
+    std::size_t leaf_high_water = 0;
 };
 
 }  // namespace poptrie

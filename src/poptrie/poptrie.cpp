@@ -4,6 +4,7 @@
 #include "poptrie/poptrie.hpp"
 
 #include "poptrie/builder.ipp"
+#include "poptrie/compactor.ipp"
 #include "poptrie/updater.ipp"
 
 namespace poptrie {

@@ -21,8 +21,10 @@
 
 #include <cstdint>
 #include <memory>
+#include <utility>
 #include <vector>
 
+#include "alloc/arena.hpp"
 #include "alloc/buddy_allocator.hpp"
 #include "netbase/bits.hpp"
 #include "netbase/prefix.hpp"
@@ -79,6 +81,12 @@ public:
         std::uint64_t pool_growths = 0;  ///< pool grew mid-update (reader-unsafe)
     };
 
+    /// The flat pools live in arena-backed storage (alloc/arena.hpp), so
+    /// the node, leaf, and direct arrays sit on huge pages when available.
+    using NodePool = alloc::ArenaVector<Node>;
+    using LeafPool = alloc::ArenaVector<NextHop>;
+    using DirectPool = alloc::ArenaVector<std::uint32_t>;
+
     /// Builds an empty FIB (every lookup returns rib::kNoRoute).
     explicit Poptrie(const Config& cfg = {});
 
@@ -102,6 +110,16 @@ public:
     template <bool UseLeafvec, bool SoftPopcount = false>
     [[nodiscard]] NextHop lookup_raw(value_type key) const noexcept
     {
+        return lookup_impl<UseLeafvec, SoftPopcount>(key, cfg_.direct_bits);
+    }
+
+private:
+    /// lookup_raw with the direct-pointing dispatch hoisted: callers that
+    /// resolve many keys (lookup_batch) read cfg_.direct_bits once and pass
+    /// it down, instead of re-reading the config per key.
+    template <bool UseLeafvec, bool SoftPopcount = false>
+    [[nodiscard]] NextHop lookup_impl(value_type key, unsigned direct_bits) const noexcept
+    {
         constexpr auto pop = [](std::uint64_t v) noexcept {
             if constexpr (SoftPopcount)
                 return netbase::popcount64_table(v);  // see bits.hpp: _soft folds to popcnt
@@ -110,14 +128,14 @@ public:
         };
         std::uint32_t index;
         unsigned offset;
-        if (cfg_.direct_bits != 0) {  // Algorithm 3: direct pointing
+        if (direct_bits != 0) {  // Algorithm 3: direct pointing
             const auto slot = static_cast<std::size_t>(
-                netbase::extract(key, 0, cfg_.direct_bits));
+                netbase::extract(key, 0, direct_bits));
             const std::uint32_t dindex = psync::load_acquire(direct_[slot]);
             if (dindex & kDirectLeafBit)
                 return static_cast<NextHop>(dindex & ~kDirectLeafBit);
             index = dindex;
-            offset = cfg_.direct_bits;
+            offset = direct_bits;
         } else {
             // Acquire: apply() can republish the root index concurrently
             // (direct_bits == 0 puts the §3.5 atomic swap on this field).
@@ -144,6 +162,7 @@ public:
         return psync::load_relaxed(leaves_[base + bc - 1]);
     }
 
+public:
     /// Batched lookup: resolves `n` keys into `out`, walking `Lanes` lookups
     /// in lockstep with software prefetch one trie level ahead. A single
     /// lookup is a chain of dependent loads, so a forwarding loop that has a
@@ -155,6 +174,9 @@ public:
     void lookup_batch(const value_type* keys, NextHop* out, std::size_t n) const noexcept
     {
         static_assert(Lanes >= 2 && Lanes <= 32);
+        // One config read per call: the direct/root dispatch is loop-
+        // invariant, so hoist it instead of re-reading cfg_ per lane.
+        const unsigned direct_bits = cfg_.direct_bits;
         std::size_t i = 0;
         for (; i + Lanes <= n; i += Lanes) {
             std::uint32_t index[Lanes];
@@ -162,9 +184,9 @@ public:
             bool done[Lanes] = {};
             unsigned remaining = Lanes;
             for (unsigned l = 0; l < Lanes; ++l) {
-                if (cfg_.direct_bits != 0) {
+                if (direct_bits != 0) {
                     const auto slot = static_cast<std::size_t>(
-                        netbase::extract(keys[i + l], 0, cfg_.direct_bits));
+                        netbase::extract(keys[i + l], 0, direct_bits));
                     const std::uint32_t dindex = psync::load_acquire(direct_[slot]);
                     if (dindex & kDirectLeafBit) {
                         out[i + l] = static_cast<NextHop>(dindex & ~kDirectLeafBit);
@@ -173,7 +195,7 @@ public:
                         continue;
                     }
                     index[l] = dindex;
-                    offset[l] = cfg_.direct_bits;
+                    offset[l] = direct_bits;
                 } else {
                     index[l] = psync::load_acquire(root_);
                     offset[l] = 0;
@@ -207,7 +229,8 @@ public:
                 }
             }
         }
-        for (; i < n; ++i) out[i] = lookup_raw<UseLeafvec>(keys[i]);
+        // Tail: same hoisted dispatch as the lane loop.
+        for (; i < n; ++i) out[i] = lookup_impl<UseLeafvec>(keys[i], direct_bits);
     }
 
     /// Applies one route change (§3.5 incremental update): updates `rib`
@@ -232,6 +255,37 @@ public:
     /// bulk-loading routes incrementally and *before* starting forwarding
     /// threads, so a subsequent update feed never grows under readers.
     void reserve_headroom() { ensure_headroom(); }
+
+    /// Rewrites the node and leaf arrays in DFS traversal order — every
+    /// node's children contiguous and adjacent to their parent, leaf runs
+    /// interleaved at the point the lookup walk reaches them — into fresh
+    /// dense pools, resets the buddy allocators to match, republishes the
+    /// root/direct indices, and retires the old arrays through the EBR
+    /// domain. Restores fresh-build locality after a long churn feed (the
+    /// buddy allocator alone preserves *compactness* but not *order*).
+    ///
+    /// Quiescent-point ONLY: the pool storage itself is replaced, which no
+    /// amount of careful publication makes safe under concurrent lookups.
+    /// Pause forwarding threads (lpmd stops its worker pool), run compact(),
+    /// resume. Lookup results are identical before and after.
+    void compact();
+
+    /// The canonical compacted layout rule, shared with the auditor: a run
+    /// of `count` slots lands at the next block_size_for(count)-aligned
+    /// offset at or after `cursor`. compact() places runs with exactly this
+    /// rule in DFS order, which is what the post-compaction audit replays.
+    [[nodiscard]] static std::uint32_t bump_offset(std::uint64_t cursor,
+                                                   std::uint32_t count) noexcept
+    {
+        const std::uint64_t size = alloc::BuddyAllocator::block_size_for(count);
+        return static_cast<std::uint32_t>((cursor + size - 1) / size * size);
+    }
+
+    /// Page backing actually obtained for the pools (alloc/arena.hpp).
+    [[nodiscard]] alloc::MemoryReport memory_report() const noexcept
+    {
+        return arena_->report();
+    }
 
     /// Size/shape statistics (Table 2 columns).
     [[nodiscard]] Stats stats() const noexcept;
@@ -269,6 +323,20 @@ private:
     void retire_leaves(std::uint32_t offset, std::uint32_t count);
     void retire_contents(const Node& n);  // descendant arrays incl. n's own
 
+    // --- compaction internals (compactor.ipp) ---
+    /// Fresh pools being filled in DFS order, plus the (offset, count) runs
+    /// placed so far — replayed into new buddy allocators afterwards.
+    struct CompactPools {
+        NodePool nodes;
+        LeafPool leaves;
+        std::vector<std::pair<std::uint32_t, std::uint32_t>> node_runs;
+        std::vector<std::pair<std::uint32_t, std::uint32_t>> leaf_runs;
+        std::uint64_t node_cursor = 0;
+        std::uint64_t leaf_cursor = 0;
+    };
+    std::uint32_t compact_root(std::uint32_t index, CompactPools& out);
+    Node compact_node(const Node& n, CompactPools& out);
+
     /// 6-bit chunk at bit offset `off`, zero-padded past the address width
     /// (the builder uses the same convention, so the padded slots agree).
     [[nodiscard]] static std::uint64_t chunk(value_type key, unsigned off) noexcept
@@ -303,10 +371,15 @@ private:
     }
 
     Config cfg_{};
-    std::vector<Node> nodes_;
-    std::vector<NextHop> leaves_;
-    std::vector<std::uint32_t> direct_;  // 2^s entries when direct_bits > 0
-    std::uint32_t root_ = 0;             // root node index when direct_bits == 0
+    // The arena backs every pool below and any storage retired through the
+    // EBR domain; it is declared before them (so destroyed after ebr_ runs
+    // pending deleters) and heap-allocated so those raw Arena* references
+    // survive moves of the Poptrie object itself.
+    std::unique_ptr<alloc::Arena> arena_ = std::make_unique<alloc::Arena>(cfg_.hugepages);
+    NodePool nodes_{arena_.get()};
+    LeafPool leaves_{arena_.get()};
+    DirectPool direct_{arena_.get()};  // 2^s entries when direct_bits > 0
+    std::uint32_t root_ = 0;           // root node index when direct_bits == 0
     // Heap-allocated so retired-block deleters can capture stable pointers
     // even if the Poptrie object itself is moved.
     std::unique_ptr<alloc::BuddyAllocator> node_alloc_ =

@@ -113,6 +113,12 @@ public:
     /// before forwarding threads start, when updates will run concurrently.
     void reserve_fib_headroom() { fib_.reserve_headroom(); }
 
+    /// Rewrites the FIB arrays in DFS traversal order, restoring fresh-build
+    /// cache locality after a long update churn (see Poptrie::compact).
+    /// Quiescent-point only: forwarding threads must be paused around the
+    /// call — the pool storage itself is replaced.
+    void compact_fib() { fib_.compact(); }
+
 private:
     using Key = std::pair<typename Addr::value_type, std::string>;
 

@@ -6,8 +6,11 @@
 //     single worker bumps and any observer thread may snapshot. Relaxed on
 //     both sides: the values are statistics, never used to order accesses to
 //     other data.
-//   * StopFlag — a one-way shutdown signal set by the orchestrator and
-//     polled by workers.
+//   * StopFlag — a shutdown signal set by the orchestrator and polled by
+//     workers; reset() rearms it once the workers are known to have joined.
+//   * PauseGate — a quiescent-point handshake: the orchestrator asks a
+//     worker to park, waits for the acknowledgement, mutates shared state
+//     the worker normally owns (e.g. compacts the FIB), then resumes it.
 #pragma once
 
 #include <atomic>
@@ -56,8 +59,80 @@ public:
         return stop_.load(std::memory_order_acquire);
     }
 
+    /// Rearms the flag. Only valid once every thread that polls it has
+    /// joined (otherwise a worker could miss the shutdown entirely).
+    void reset() noexcept
+    {
+        // order: relaxed — by contract no poller is running concurrently.
+        stop_.store(false, std::memory_order_relaxed);
+    }
+
 private:
     std::atomic<bool> stop_{false};
+};
+
+/// Quiescent-point handshake between an orchestrator thread and ONE worker
+/// thread. Protocol:
+///
+///   orchestrator                         worker (at a consistent point)
+///   token = request_pause()              if (pause_requested()) {
+///   while (!parked_since(token)) ...         enter_park();
+///   ... mutate shared state ...              while (pause_requested()) ...
+///   resume()                             }
+///
+/// enter_park() is a release store the orchestrator acquires through
+/// parked_since(), so everything the worker wrote before parking is visible
+/// while it is parked; resume() is a release store the worker acquires
+/// through pause_requested(), so the orchestrator's mutations are visible
+/// when the worker continues. The park generation (not a boolean) is what
+/// parked_since() compares, so a stale acknowledgement from an earlier
+/// pause can never satisfy a new request. The orchestrator's wait loop is
+/// its own: a worker may exit instead of parking (feed finished), which the
+/// caller detects and handles (typically by joining the thread).
+class PauseGate {
+public:
+    /// Orchestrator: requests a pause; pass the token to parked_since().
+    [[nodiscard]] std::uint64_t request_pause() noexcept
+    {
+        // order: acquire — the token must be read before the request is
+        // published, or a park that races the request could be miscounted.
+        const auto token = parks_.load(std::memory_order_acquire);
+        pause_.store(true, std::memory_order_release);  // order: see class doc
+        return token;
+    }
+
+    /// Orchestrator: true once the worker parked after request_pause().
+    [[nodiscard]] bool parked_since(std::uint64_t token) const noexcept
+    {
+        // order: acquire — pairs with enter_park()'s release increment.
+        return parks_.load(std::memory_order_acquire) != token;
+    }
+
+    /// Orchestrator: lifts the pause; the parked worker resumes.
+    void resume() noexcept
+    {
+        // order: release — pairs with pause_requested()'s acquire load.
+        pause_.store(false, std::memory_order_release);
+    }
+
+    /// Worker: polls for a pause request (also the in-park wait condition).
+    [[nodiscard]] bool pause_requested() const noexcept
+    {
+        // order: acquire — pairs with request_pause()/resume()'s releases.
+        return pause_.load(std::memory_order_acquire);
+    }
+
+    /// Worker: acknowledges the pause. Call once, then spin/sleep on
+    /// pause_requested() before touching shared state again.
+    void enter_park() noexcept
+    {
+        // order: release — publishes everything written before the park.
+        parks_.fetch_add(1, std::memory_order_release);
+    }
+
+private:
+    std::atomic<bool> pause_{false};
+    std::atomic<std::uint64_t> parks_{0};
 };
 
 }  // namespace psync

@@ -1,0 +1,171 @@
+// Tests for the hugepage-backed arena and its pool container. The CI-critical
+// case is the fallback path: a HugepagePolicy::kOn arena on a machine with an
+// empty hugepage reservation (every CI runner) must still hand out usable
+// zeroed memory and report truthfully that MAP_HUGETLB was tried and refused
+// — set_force_hugetlb_failure makes that deterministic everywhere.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <utility>
+
+#include "alloc/arena.hpp"
+#include "poptrie/poptrie.hpp"
+#include "rib/radix_trie.hpp"
+
+using alloc::Arena;
+using alloc::ArenaVector;
+using alloc::Backing;
+using alloc::HugepagePolicy;
+
+namespace {
+
+/// RAII so a failed ASSERT cannot leave the hook set for later tests.
+struct ForceHugetlbFailure {
+    ForceHugetlbFailure() { alloc::set_force_hugetlb_failure(true); }
+    ~ForceHugetlbFailure() { alloc::set_force_hugetlb_failure(false); }
+};
+
+}  // namespace
+
+TEST(Arena, MapsZeroedUsableMemory)
+{
+    for (const auto policy :
+         {HugepagePolicy::kAuto, HugepagePolicy::kOn, HugepagePolicy::kOff}) {
+        Arena arena{policy};
+        auto block = arena.map(100 * sizeof(std::uint64_t));
+        ASSERT_NE(block.ptr, nullptr);
+        EXPECT_GE(block.bytes, 100 * sizeof(std::uint64_t));
+        auto* p = static_cast<std::uint64_t*>(block.ptr);
+        for (int i = 0; i < 100; ++i) ASSERT_EQ(p[i], 0u);
+        p[0] = 0xDEADBEEF;  // writable
+        const auto report = arena.report();
+        EXPECT_EQ(report.bytes_reserved, block.bytes);
+        arena.unmap(block);
+        EXPECT_EQ(arena.report().bytes_reserved, 0u);
+    }
+}
+
+TEST(Arena, OffPolicyNeverUsesHugepages)
+{
+    Arena arena{HugepagePolicy::kOff};
+    auto block = arena.map(1 << 20);
+    EXPECT_TRUE(block.backing == Backing::kNormalPages || block.backing == Backing::kHeap);
+    const auto report = arena.report();
+    EXPECT_FALSE(report.hugetlb_requested);
+    EXPECT_FALSE(report.hugetlb_failed);
+    arena.unmap(block);
+}
+
+TEST(Arena, HugetlbFallbackIsGracefulAndReported)
+{
+    ForceHugetlbFailure forced;
+    Arena arena{HugepagePolicy::kOn};
+    auto block = arena.map(4 << 20);  // two 2 MiB hugepages' worth
+    ASSERT_NE(block.ptr, nullptr);
+    EXPECT_NE(block.backing, Backing::kHugetlb);
+    static_cast<char*>(block.ptr)[0] = 1;  // usable despite the refusal
+
+    const auto report = arena.report();
+    EXPECT_TRUE(report.hugetlb_requested);
+    EXPECT_TRUE(report.hugetlb_failed);
+    EXPECT_NE(report.backing, Backing::kHugetlb);
+    EXPECT_GT(report.page_size, 0u);
+    arena.unmap(block);
+}
+
+TEST(Arena, ReportTracksWeakestLiveBacking)
+{
+    Arena arena{HugepagePolicy::kAuto};
+    auto a = arena.map(1 << 16);
+    auto b = arena.map(1 << 16);
+    const auto report = arena.report();
+    // Two live blocks: the aggregate backing can be no stronger than either.
+    EXPECT_LE(static_cast<int>(report.backing),
+              static_cast<int>(std::min(a.backing, b.backing)));
+    EXPECT_EQ(report.bytes_reserved, a.bytes + b.bytes);
+    arena.unmap(a);
+    arena.unmap(b);
+}
+
+TEST(Arena, BackingNamesAreStable)
+{
+    EXPECT_STREQ(alloc::backing_name(Backing::kHeap), "heap");
+    EXPECT_STREQ(alloc::backing_name(Backing::kNormalPages), "normal-pages");
+    EXPECT_STREQ(alloc::backing_name(Backing::kThpAdvised), "thp-advised");
+    EXPECT_STREQ(alloc::backing_name(Backing::kHugetlb), "hugetlb");
+}
+
+TEST(Arena, ThpStatusIsNonEmpty)
+{
+    // "always", "madvise", "never", or "unavailable" — never an empty string
+    // (provenance stamps this verbatim).
+    EXPECT_FALSE(alloc::thp_status().empty());
+}
+
+TEST(ArenaVector, ResizeZeroFillsAndPreservesContents)
+{
+    Arena arena;
+    ArenaVector<std::uint32_t> v{&arena};
+    EXPECT_TRUE(v.empty());
+    v.resize(10);
+    for (std::size_t i = 0; i < 10; ++i) {
+        ASSERT_EQ(v[i], 0u);
+        v[i] = static_cast<std::uint32_t>(i + 1);
+    }
+    v.resize(100'000);  // forces at least one remap
+    for (std::size_t i = 0; i < 10; ++i) ASSERT_EQ(v[i], i + 1);
+    for (std::size_t i = 10; i < 100'000; ++i) ASSERT_EQ(v[i], 0u);
+    EXPECT_EQ(v.size(), 100'000u);
+    EXPECT_GE(v.capacity(), v.size());
+
+    // Shrink keeps storage; regrow within capacity re-zeroes the tail.
+    v.resize(5);
+    v.resize(20);
+    for (std::size_t i = 5; i < 20; ++i) ASSERT_EQ(v[i], 0u);
+}
+
+TEST(ArenaVector, AssignAndMove)
+{
+    Arena arena;
+    ArenaVector<std::uint16_t> v{&arena};
+    v.assign(1000, 42);
+    ASSERT_EQ(v.size(), 1000u);
+    for (const auto x : v) ASSERT_EQ(x, 42);
+
+    ArenaVector<std::uint16_t> w{std::move(v)};
+    EXPECT_EQ(w.size(), 1000u);
+    EXPECT_EQ(w[999], 42);
+    EXPECT_EQ(v.size(), 0u);  // NOLINT(bugprone-use-after-move): defined state
+
+    ArenaVector<std::uint16_t> z{&arena};
+    z.resize(3);
+    z = std::move(w);
+    EXPECT_EQ(z.size(), 1000u);
+    EXPECT_EQ(z[0], 42);
+    EXPECT_EQ(arena.report().bytes_reserved, z.capacity() * sizeof(std::uint16_t));
+}
+
+// End-to-end: a Poptrie configured with hugepages=kOn on a hugepage-less
+// machine still builds, resolves, and reports the fallback through
+// memory_report() — exactly what CI runners exercise implicitly.
+TEST(ArenaPoptrie, PoptrieFallsBackCleanlyUnderForcedHugetlbFailure)
+{
+    ForceHugetlbFailure forced;
+    rib::RadixTrie<netbase::Ipv4Addr> rib;
+    rib.insert(*netbase::parse_prefix4("10.0.0.0/8"), 4);
+    rib.insert(*netbase::parse_prefix4("10.64.0.0/10"), 5);
+    poptrie::Config cfg;
+    cfg.direct_bits = 16;
+    cfg.hugepages = HugepagePolicy::kOn;
+    poptrie::Poptrie4 pt{rib, cfg};
+
+    EXPECT_EQ(pt.lookup(*netbase::parse_ipv4("10.65.0.1")), 5);
+    EXPECT_EQ(pt.lookup(*netbase::parse_ipv4("10.1.1.1")), 4);
+
+    const auto report = pt.memory_report();
+    EXPECT_TRUE(report.hugetlb_requested);
+    EXPECT_TRUE(report.hugetlb_failed);
+    EXPECT_NE(report.backing, Backing::kHugetlb);
+    EXPECT_GT(report.bytes_reserved, 0u);
+}

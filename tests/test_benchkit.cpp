@@ -164,6 +164,18 @@ TEST(Json, ProvenanceStampsEveryField)
     EXPECT_NE(out.find("\"git_sha\":\""), std::string::npos);
     EXPECT_NE(out.find("\"build_type\":\""), std::string::npos);
     EXPECT_NE(out.find("\"native\":"), std::string::npos);
+    // Memory-layout environment: page size and THP mode are always stamped;
+    // arena_backing appears once a tool notes what its FIB actually got.
+    EXPECT_NE(out.find("\"page_size_bytes\":"), std::string::npos);
+    EXPECT_NE(out.find("\"thp\":\""), std::string::npos);
+    EXPECT_EQ(out.find("\"arena_backing\":"), std::string::npos);
+
+    benchkit::note_arena_backing("thp-advised");
+    JsonRecords rec2;
+    rec2.begin_record();
+    stamp_provenance(rec2);
+    EXPECT_NE(rec2.dump().find("\"arena_backing\":\"thp-advised\""), std::string::npos);
+    benchkit::note_arena_backing("");  // leave no residue for other tests
 }
 
 TEST(Cli, PrefixNamesDoNotCollide)

@@ -16,6 +16,7 @@
 #include <chrono>
 #include <csignal>
 #include <cstdio>
+#include <functional>
 #include <memory>
 #include <string>
 #include <thread>
@@ -27,6 +28,7 @@
 #include "benchkit/stats.hpp"
 #include "dataplane/churn.hpp"
 #include "dataplane/dataplane.hpp"
+#include "poptrie/config.hpp"
 #include "dataplane/engines.hpp"
 #include "rib/aggregate.hpp"
 #include "workload/tablegen.hpp"
@@ -53,6 +55,7 @@ struct Options {
     unsigned direct_bits = 18;
     std::size_t churn_updates = 0;
     double churn_rate = 0;
+    std::size_t compact_every = 0;  // compact the FIB every N churn updates
     double stats_interval = 1.0;
     bool json = false;
     std::string json_out;
@@ -66,13 +69,32 @@ struct RunResult {
     double elapsed = 0;
     std::uint64_t churn_applied = 0;
     std::uint64_t pool_growths = 0;
+    std::uint64_t compactions = 0;
+    bool has_fib_stats = false;
+    poptrie::Stats fib_stats{};  // post-run fragmentation view (poptrie only)
 };
 
+/// One-line fragmentation view of both FIB pools, printed at each quiescent
+/// point (compaction, final summary) — the same counters poptrie_fsck
+/// --stats reports.
+void print_frag(const poptrie::Stats& s, const char* tag)
+{
+    std::printf("[%s] node pool used=%zu hw=%zu free_blocks=%zu | "
+                "leaf pool used=%zu hw=%zu free_blocks=%zu\n",
+                tag, s.node_pool_used, s.node_high_water, s.node_free_blocks,
+                s.leaf_pool_used, s.leaf_high_water, s.leaf_free_blocks);
+}
+
 /// Producer loop + periodic stats, shared by every engine instantiation.
+/// `compact_fib` (poptrie + --compact-every only) runs at churn quiescent
+/// points: the churn thread is parked and the worker pool stopped around the
+/// call, then both resume — the storage swap inside Poptrie::compact() is
+/// not reader-safe, so the whole pipeline pauses.
 template <class Engine>
 RunResult run_pipeline(dataplane::Dataplane<Engine>& dp, const Options& opt,
                        const std::vector<std::uint32_t>& trace,
-                       const dataplane::ChurnRunner* churn)
+                       dataplane::ChurnRunner* churn,
+                       const std::function<void()>& compact_fib = {})
 {
     using clock = std::chrono::steady_clock;
     dp.start();
@@ -87,6 +109,9 @@ RunResult run_pipeline(dataplane::Dataplane<Engine>& dp, const Options& opt,
     auto next_stats = t0 + interval;
     dataplane::StatsSnapshot last_snap;
     double last_t = 0;
+    std::uint64_t next_compact =
+        opt.compact_every > 0 ? opt.compact_every : ~std::uint64_t{0};
+    std::uint64_t compactions = 0;
 
     const auto elapsed_s = [&] {
         return std::chrono::duration<double>(clock::now() - t0).count();
@@ -115,6 +140,25 @@ RunResult run_pipeline(dataplane::Dataplane<Engine>& dp, const Options& opt,
             produced += opt.burst;
         }
 
+        if (compact_fib && churn != nullptr && churn->applied() >= next_compact) {
+            const auto pause_start = clock::now();
+            churn->pause();  // parks the writer (or joins a finished feed)
+            dp.stop();       // joins the workers: no reader holds a guard
+            compact_fib();
+            dp.start();
+            churn->resume();
+            ++compactions;
+            next_compact = churn->applied() + opt.compact_every;
+            // Forfeit the paused window's address budget: catching it up
+            // would burst into the just-restarted rings faster than the
+            // workers drain and count the pause as ring drops.
+            if (opt.rate_mpps > 0) {
+                const double paused =
+                    std::chrono::duration<double>(clock::now() - pause_start).count();
+                produced += static_cast<std::uint64_t>(paused * opt.rate_mpps * 1e6);
+            }
+        }
+
         const auto now = clock::now();
         if (now >= next_stats) {
             const auto snap = dp.stats();
@@ -141,6 +185,7 @@ RunResult run_pipeline(dataplane::Dataplane<Engine>& dp, const Options& opt,
     r.stats = dp.stats();
     r.latency = benchkit::latency_percentiles(dp.merged_latency());
     if (churn != nullptr) r.churn_applied = churn->applied();
+    r.compactions = compactions;
     return r;
 }
 
@@ -160,6 +205,10 @@ int finish(const Options& opt, const RunResult& r, std::string_view engine_name)
     if (opt.churn_updates > 0)
         std::printf("churn      %llu updates applied\n",
                     static_cast<unsigned long long>(r.churn_applied));
+    if (opt.compact_every > 0)
+        std::printf("compact    %llu passes (every %zu updates)\n",
+                    static_cast<unsigned long long>(r.compactions), opt.compact_every);
+    if (r.has_fib_stats) print_frag(r.fib_stats, "summary");
 
     if (opt.json || !opt.json_out.empty()) {
         benchkit::JsonRecords rec;
@@ -177,6 +226,13 @@ int finish(const Options& opt, const RunResult& r, std::string_view engine_name)
         rec.field("lat_p99_ns", r.latency.p99);
         rec.field("lat_p999_ns", r.latency.p999);
         rec.field("churn_applied", r.churn_applied);
+        rec.field("compactions", r.compactions);
+        if (r.has_fib_stats) {
+            rec.field("node_free_blocks", std::uint64_t{r.fib_stats.node_free_blocks});
+            rec.field("leaf_free_blocks", std::uint64_t{r.fib_stats.leaf_free_blocks});
+            rec.field("node_high_water", std::uint64_t{r.fib_stats.node_high_water});
+            rec.field("leaf_high_water", std::uint64_t{r.fib_stats.leaf_high_water});
+        }
         benchkit::stamp_provenance(rec);
         if (opt.json) rec.write(stdout);
         if (!opt.json_out.empty() && !rec.write_file(opt.json_out)) {
@@ -235,6 +291,8 @@ int main(int argc, char** argv)
             "  --direct-bits=N     poptrie direct-pointing bits (default 18)\n"
             "  --churn-updates=N   concurrent route updates to apply (default 0)\n"
             "  --churn-rate=R      updates/s pacing, 0 = unpaced (default 0)\n"
+            "  --compact-every=N   compact the FIB every N churn updates, pausing\n"
+            "                      the pipeline at a quiescent point (default 0)\n"
             "  --stats-interval=S  seconds between stats lines (default 1)\n"
             "  --json              print a machine-readable summary record\n"
             "  --json-out=FILE     write the summary record to FILE (benchctl)\n"
@@ -255,6 +313,7 @@ int main(int argc, char** argv)
     opt.direct_bits = static_cast<unsigned>(args.get_u64("direct-bits", opt.direct_bits));
     opt.churn_updates = args.get_u64("churn-updates", opt.churn_updates);
     opt.churn_rate = args.get_double("churn-rate", opt.churn_rate);
+    opt.compact_every = args.get_u64("compact-every", opt.compact_every);
     opt.stats_interval = args.get_double("stats-interval", opt.stats_interval);
     opt.json = args.has("json");
     opt.json_out = args.json_out();
@@ -278,6 +337,10 @@ int main(int argc, char** argv)
     }
     if (opt.churn_updates > 0 && opt.engine != "poptrie") {
         std::fprintf(stderr, "lpmd: --churn-updates requires --engine poptrie\n");
+        return 2;
+    }
+    if (opt.compact_every > 0 && opt.churn_updates == 0) {
+        std::fprintf(stderr, "lpmd: --compact-every requires --churn-updates\n");
         return 2;
     }
 
@@ -332,6 +395,8 @@ int main(int argc, char** argv)
             // Growths so far happened quiescently (bulk load); only growth
             // after this point runs under live readers.
             const auto growths_before = router.fib().update_counters().pool_growths;
+            benchkit::note_arena_backing(
+                alloc::backing_name(router.fib().memory_report().backing));
             dataplane::Dataplane<dataplane::PoptrieEngine> dp{
                 dataplane::PoptrieEngine{router}, dcfg};
             std::unique_ptr<dataplane::ChurnRunner> churn;
@@ -340,10 +405,22 @@ int main(int argc, char** argv)
                     router, routes,
                     dataplane::ChurnConfig{.updates = opt.churn_updates,
                                            .rate_per_sec = opt.churn_rate});
-            auto r = run_pipeline(dp, opt, trace, churn.get());
+            const std::function<void()> compact_fn =
+                opt.compact_every > 0 ? std::function<void()>([&router] {
+                    router.compact_fib();
+                    print_frag(router.fib().stats(), "compact");
+                })
+                                      : std::function<void()>{};
+            auto r = run_pipeline(dp, opt, trace, churn.get(), compact_fn);
             if (churn) churn->stop_and_join();
             router.drain();
             r.pool_growths = router.fib().update_counters().pool_growths - growths_before;
+            if (opt.churn_updates > 0) {
+                // Quiescent now (workers stopped, churn joined): snapshot the
+                // fragmentation counters for the summary / JSON record.
+                r.fib_stats = router.fib().stats();
+                r.has_fib_stats = true;
+            }
             return finish(opt, r, "poptrie");
         }
         // Read-only baselines are compiled from the aggregated FIB source,

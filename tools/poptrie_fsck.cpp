@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "alloc/arena.hpp"
 #include "analysis/audit.hpp"
 #include "netbase/bits.hpp"
 #include "poptrie/poptrie.hpp"
@@ -38,6 +39,8 @@ struct FsckOptions {
     poptrie::Config cfg{};
     std::size_t probes = 4096;
     bool verbose = false;
+    bool compact = false;  // run compact() after build/churn, audit the layout
+    bool stats = false;    // print occupancy + fragmentation counters
     std::string inject_fault;  // "", "leaf", "vector" or "direct"
 };
 
@@ -55,6 +58,10 @@ void usage(std::FILE* to)
         "  --basic            disable leaf compression\n"
         "  --no-aggregate     disable route aggregation\n"
         "  --probes N         random differential probes per audit (default 4096)\n"
+        "  --compact          run Poptrie::compact() after the build (and after\n"
+        "                     the update run) and audit the canonical layout\n"
+        "  --stats            print pool occupancy and fragmentation counters\n"
+        "                     at each stage\n"
         "  --inject-fault K   corrupt the built FIB before auditing (K: leaf,\n"
         "                     vector, direct) -- the audit MUST then fail;\n"
         "                     exercises the detector end to end\n"
@@ -77,17 +84,36 @@ bool parse_size(const std::string& flag, const char* s, std::size_t& out)
 /// Runs one audit; returns its violation count and prints per --verbose.
 template <class Addr>
 std::size_t run_audit(const poptrie::Poptrie<Addr>& pt, const rib::RadixTrie<Addr>& rib,
-                      const FsckOptions& opt, const std::string& stage)
+                      const FsckOptions& opt, const std::string& stage,
+                      bool expect_compacted = false)
 {
     analysis::AuditOptions aopt;
     aopt.random_probes = opt.probes;
     aopt.seed = opt.seed ^ 0x5DEECE66Dull;
+    aopt.expect_compacted = expect_compacted;
     const auto report = analysis::audit(pt, rib, aopt);
     if (!report.ok() || opt.verbose) {
         std::fprintf(report.ok() ? stdout : stderr, "[%s] %s", stage.c_str(),
                      report.summary().c_str());
     }
     return report.violation_count();
+}
+
+/// Prints the occupancy + fragmentation view of both pools (--stats): what
+/// lpmd reports periodically, at fsck's stage granularity.
+template <class Addr>
+void print_stats(const poptrie::Poptrie<Addr>& pt, const std::string& stage)
+{
+    const auto s = pt.stats();
+    const auto mem = pt.memory_report();
+    std::printf(
+        "[%s] inodes=%zu leaves=%zu direct=%zu backing=%s\n"
+        "[%s] node pool: used=%zu high_water=%zu free_blocks=%zu largest_free_run=%zu\n"
+        "[%s] leaf pool: used=%zu high_water=%zu free_blocks=%zu largest_free_run=%zu\n",
+        stage.c_str(), s.internal_nodes, s.leaves, s.direct_slots,
+        alloc::backing_name(mem.backing), stage.c_str(), s.node_pool_used,
+        s.node_high_water, s.node_free_blocks, s.node_largest_free_run, stage.c_str(),
+        s.leaf_pool_used, s.leaf_high_water, s.leaf_free_blocks, s.leaf_largest_free_run);
 }
 
 /// Address-family-generic update churn for tables that have no §4.9 feed
@@ -200,6 +226,13 @@ int fsck(const rib::RouteList<Addr>& routes, const FsckOptions& opt)
     }
 
     std::size_t violations = run_audit(pt, rib, opt, "build");
+    if (opt.stats) print_stats(pt, "build");
+
+    if (opt.compact && opt.inject_fault.empty()) {
+        pt.compact();
+        violations += run_audit(pt, rib, opt, "compact", /*expect_compacted=*/true);
+        if (opt.stats) print_stats(pt, "compact");
+    }
 
     if (opt.updates != 0) {
         std::size_t applied = 0;
@@ -221,6 +254,13 @@ int fsck(const rib::RouteList<Addr>& routes, const FsckOptions& opt)
         violations += run_audit(pt, rib, opt, "after " + std::to_string(applied) + " updates");
         pt.drain();
         violations += run_audit(pt, rib, opt, "after drain");
+        if (opt.stats) print_stats(pt, "after churn");
+        if (opt.compact) {
+            pt.compact();
+            violations +=
+                run_audit(pt, rib, opt, "post-churn compact", /*expect_compacted=*/true);
+            if (opt.stats) print_stats(pt, "post-churn compact");
+        }
     }
 
     if (violations != 0) {
@@ -280,6 +320,10 @@ int main(int argc, char** argv)
             opt.cfg.route_aggregation = false;
         } else if (arg == "--probes") {
             if (!parse_size(arg, value(), opt.probes)) return 2;
+        } else if (arg == "--compact") {
+            opt.compact = true;
+        } else if (arg == "--stats") {
+            opt.stats = true;
         } else if (arg == "--inject-fault") {
             opt.inject_fault = value();
         } else if (arg == "--verbose") {

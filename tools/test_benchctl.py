@@ -297,7 +297,14 @@ class CommittedBaselineTest(unittest.TestCase):
         if not os.path.exists(self.BASELINE):
             self.skipTest("no committed baseline yet")
         doc = benchctl.load_run(self.BASELINE)
-        for family in ("micro.", "table4.", "batch.", "dataplane.", "update."):
+        for family in (
+            "micro.",
+            "table4.",
+            "batch.",
+            "dataplane.",
+            "update.",
+            "churnloc.",
+        ):
             self.assertTrue(
                 any(name.startswith(family) for name in doc["metrics"]),
                 f"baseline is missing the {family}* metric family",
