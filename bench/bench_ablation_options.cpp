@@ -194,6 +194,9 @@ int main(int argc, char** argv)
             benchkit::stamp_provenance(json);
         };
         batch_record("scalar", 1, scalar.mlps_mean, scalar.mlps_std);
+        // reader: single-threaded bench over a table that never changes — the
+        // batch walks below are trivially inside a read-side critical section.
+        const psync::EbrReadSection section;
         for (const unsigned lanes : {2u, 4u, 8u, 16u}) {
             std::vector<double> rates;
             std::uint64_t cs = 0;

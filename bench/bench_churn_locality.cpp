@@ -128,6 +128,9 @@ int main(int argc, char** argv)
 
     const auto fresh = measure_phase("fresh", *pt, lookups, trials, seed + 100);
 
+    // quiescent: single-threaded bench — no reader thread ever exists, so
+    // the drain and the storage-moving compact() below are safe.
+    const psync::QuiescentSection quiescent;
     workload::UpdateFeedConfig ucfg;
     ucfg.seed = seed + 11;
     ucfg.updates = n_updates;

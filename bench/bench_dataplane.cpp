@@ -64,6 +64,8 @@ CellResult run_cell(Engine engine, unsigned workers, const RunOptions& opt,
     const double elapsed = std::chrono::duration<double>(clock::now() - t0).count();
     dp.stop();
 
+    // quiescent: dp.stop() joined every worker; only this thread remains.
+    const psync::QuiescentSection quiescent;
     CellResult r;
     const auto s = dp.stats();
     r.mlps = benchkit::to_mlps(s.lookups(), elapsed);
@@ -142,7 +144,11 @@ int main(int argc, char** argv)
     pcfg.pool_headroom_log2 = 6;
     router::Router4 router{pcfg};
     dataplane::load_routes(router, d.routes);
-    router.reserve_fib_headroom();  // quiescent: no workers running yet
+    {
+        // quiescent: no worker thread has been spawned yet.
+        const psync::QuiescentSection quiescent;
+        router.reserve_fib_headroom();
+    }
     const baselines::TreeBitmap16 tbm{d.fib_src};
     std::unique_ptr<baselines::Sail> sail;
     try {
@@ -188,7 +194,12 @@ int main(int argc, char** argv)
                 router, d.routes, dataplane::ChurnConfig{.updates = churn_updates}};
             report("poptrie", workers, true,
                    run_cell(dataplane::PoptrieEngine{router}, workers, opt, &churn));
-            router.drain();
+            {
+                // writer: run_cell stopped the workers and joined the churn
+                // thread; only this thread remains.
+                const psync::EbrWriterSection writer;
+                router.drain();
+            }
         }
         report("treebitmap", workers, false,
                run_cell(dataplane::TreeBitmapEngine{tbm, "treebitmap"}, workers, opt,

@@ -81,7 +81,11 @@ int main(int argc, char** argv)
         std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
     stop = true;
     readers.clear();
-    fib.drain();
+    {
+        // writer: every reader jthread joined on the line above.
+        const psync::EbrWriterSection writer;
+        fib.drain();
+    }
 
     const benchkit::Percentiles lat(std::move(latencies_ns));
     const auto& c = fib.update_counters();

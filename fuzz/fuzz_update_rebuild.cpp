@@ -64,6 +64,9 @@ void run(fuzz::ByteReader& in, const poptrie::Config& cfg, unsigned checkpoint_m
     while (in.remaining() >= sizeof(typename Addr::value_type))
         extra_probes.push_back(fuzz::read_key<Addr>(in));
 
+    // quiescent: the fuzz harness is single-threaded — no reader thread
+    // exists, so the checkpoint compact()/drain() passes are safe.
+    const psync::QuiescentSection quiescent;
     rib::RadixTrie<Addr> rib;
     poptrie::Poptrie<Addr> pt{cfg};
     std::size_t i = 0;

@@ -21,7 +21,13 @@
 // ArenaVector<T> is the minimal std::vector replacement the pools need:
 // trivially-copyable elements, geometric growth, zero-fill on resize. It is
 // a control-path container — growth remaps and memcpys, so (like the
-// vectors it replaces) growing is NOT safe under concurrent readers.
+// vectors it replaces) growing is NOT safe under concurrent readers. In the
+// capability model (sync/annotations.hpp, DESIGN.md §9) that rule surfaces
+// one level up: the Poptrie pools built on ArenaVector are GUARDED_BY the
+// EBR capability, and every path that can *grow or replace* them —
+// ensure_headroom, compact — requires the quiescence capability too. The
+// container itself stays annotation-free: it has no concurrency machinery
+// of its own, only a lifetime contract its owners enforce.
 #pragma once
 
 #include <cstddef>

@@ -144,6 +144,12 @@ extern template void audit_or_abort(const poptrie::Poptrie<netbase::Ipv6Addr>&,
 /// Const accessors feed the auditor; the mutable ones exist so tests can
 /// inject faults and prove the auditor catches them. Nothing here is for
 /// production code paths.
+///
+/// The pool accessors are POPTRIE_NO_TSA: they reach EBR-guarded members by
+/// design. This is the sanctioned audit backdoor — by contract (DESIGN.md
+/// §9) the auditor runs on the writer thread at update/quiescent points, a
+/// discipline the surrounding tests and tools uphold rather than the type
+/// system.
 struct AuditAccess {
     template <class Addr>
     using PT = poptrie::Poptrie<Addr>;
@@ -152,47 +158,47 @@ struct AuditAccess {
     // (Poptrie::NodePool et al.), and spelling the type here would couple
     // every audit call site to the storage choice.
     template <class Addr>
-    [[nodiscard]] static const auto& nodes(const PT<Addr>& p) noexcept
+    [[nodiscard]] static const auto& nodes(const PT<Addr>& p) noexcept POPTRIE_NO_TSA
     {
         return p.nodes_;
     }
     template <class Addr>
-    [[nodiscard]] static auto& nodes(PT<Addr>& p) noexcept
+    [[nodiscard]] static auto& nodes(PT<Addr>& p) noexcept POPTRIE_NO_TSA
     {
         return p.nodes_;
     }
     template <class Addr>
-    [[nodiscard]] static const auto& leaves(const PT<Addr>& p) noexcept
+    [[nodiscard]] static const auto& leaves(const PT<Addr>& p) noexcept POPTRIE_NO_TSA
     {
         return p.leaves_;
     }
     template <class Addr>
-    [[nodiscard]] static auto& leaves(PT<Addr>& p) noexcept
+    [[nodiscard]] static auto& leaves(PT<Addr>& p) noexcept POPTRIE_NO_TSA
     {
         return p.leaves_;
     }
     template <class Addr>
-    [[nodiscard]] static const auto& direct(const PT<Addr>& p) noexcept
+    [[nodiscard]] static const auto& direct(const PT<Addr>& p) noexcept POPTRIE_NO_TSA
     {
         return p.direct_;
     }
     template <class Addr>
-    [[nodiscard]] static auto& direct(PT<Addr>& p) noexcept
+    [[nodiscard]] static auto& direct(PT<Addr>& p) noexcept POPTRIE_NO_TSA
     {
         return p.direct_;
     }
     template <class Addr>
-    [[nodiscard]] static std::uint32_t root(const PT<Addr>& p) noexcept
+    [[nodiscard]] static std::uint32_t root(const PT<Addr>& p) noexcept POPTRIE_NO_TSA
     {
         return p.root_;
     }
     template <class Addr>
-    [[nodiscard]] static const alloc::BuddyAllocator& node_alloc(const PT<Addr>& p) noexcept
+    [[nodiscard]] static const alloc::BuddyAllocator& node_alloc(const PT<Addr>& p) noexcept POPTRIE_NO_TSA
     {
         return *p.node_alloc_;
     }
     template <class Addr>
-    [[nodiscard]] static const alloc::BuddyAllocator& leaf_alloc(const PT<Addr>& p) noexcept
+    [[nodiscard]] static const alloc::BuddyAllocator& leaf_alloc(const PT<Addr>& p) noexcept POPTRIE_NO_TSA
     {
         return *p.leaf_alloc_;
     }

@@ -14,6 +14,7 @@
 
 #include "rib/route.hpp"
 #include "router/router.hpp"
+#include "sync/annotations.hpp"
 #include "sync/counters.hpp"
 #include "workload/updatefeed.hpp"
 
@@ -61,8 +62,17 @@ public:
     /// joined). While paused, the caller may act as the Router's writer —
     /// lpmd --compact-every runs Router::compact_fib() here. Balance every
     /// pause() with resume().
-    void pause();
-    void resume() noexcept;
+    ///
+    /// Capability-wise, pause() hands the caller the exclusive EBR writer
+    /// role (the parked churn thread is the usual writer) plus the
+    /// quiescence claim on behalf of the caller's full protocol: touching
+    /// pool *storage* additionally requires that every forwarding worker is
+    /// stopped or parked, which the analysis cannot see from here — lpmd
+    /// stops its worker pool between pause() and the compaction, and
+    /// check_concurrency.py R4 plus the TSan churn tests keep that half
+    /// honest.
+    void pause() POPTRIE_ACQUIRE(psync::cap::quiescent, psync::cap::ebr);
+    void resume() noexcept POPTRIE_RELEASE(psync::cap::quiescent, psync::cap::ebr);
 
     ChurnRunner(const ChurnRunner&) = delete;
     ChurnRunner& operator=(const ChurnRunner&) = delete;

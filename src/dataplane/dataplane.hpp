@@ -32,6 +32,7 @@
 #include "dataplane/stats.hpp"
 #include "dataplane/worker_pool.hpp"
 #include "rib/route.hpp"
+#include "sync/annotations.hpp"
 #include "sync/counters.hpp"
 #include "sync/spsc_ring.hpp"
 
@@ -92,6 +93,9 @@ public:
         std::size_t done = 0;
         for (unsigned attempt = 0; attempt < cfg_.workers && done < n; ++attempt) {
             auto& ring = workers_[shard_cursor_]->ring;
+            // producer: offer() runs on the single producer thread (class
+            // doc), which is every ring's one feeding end.
+            const psync::SpscProducerToken token{ring};
             shard_cursor_ = (shard_cursor_ + 1) % cfg_.workers;
             done += ring.push(keys + done, n - done);
         }
@@ -111,6 +115,9 @@ public:
         stop_.request();
         pool_->join();
         pool_.reset();
+        // quiescent: every worker joined above — no poller of stop_ and no
+        // EBR reader exists until start() spawns a fresh pool.
+        const psync::QuiescentSection quiescent;
         stop_.reset();  // all pollers joined: safe to rearm
     }
 
@@ -131,8 +138,10 @@ public:
     }
 
     /// Merged per-burst latency reservoir (ns samples). Only meaningful
-    /// after stop(): workers own their reservoirs while running.
+    /// after stop() — workers own their reservoirs while running — which is
+    /// what the quiescence requirement enforces statically.
     [[nodiscard]] benchkit::Reservoir merged_latency() const
+        POPTRIE_REQUIRES(psync::cap::quiescent)
     {
         benchkit::Reservoir merged(cfg_.latency_reservoir);
         for (const auto& w : workers_) merged.merge(w->latency);
@@ -159,6 +168,8 @@ private:
         std::vector<key_type> keys(cfg_.burst);
         std::vector<rib::NextHop> hops(cfg_.burst);
         auto reader = engine_.make_reader();
+        // consumer: worker w is ring w's one draining end for its lifetime.
+        const psync::SpscConsumerToken consumer{st.ring};
         for (;;) {
             const std::size_t n = st.ring.pop(keys.data(), cfg_.burst);
             if (n == 0) {
@@ -170,7 +181,10 @@ private:
             }
             const auto t0 = std::chrono::steady_clock::now();
             {
-                [[maybe_unused]] auto guard = reader.guard();
+                // reader: the per-burst read-side critical section — one EBR
+                // guard per burst, the §3.5 granularity the update machinery
+                // assumes.
+                const typename decltype(reader)::Guard guard{reader};
                 engine_.lookup_batch(keys.data(), hops.data(), n);
             }
             const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(

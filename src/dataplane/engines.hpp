@@ -8,8 +8,9 @@
 //   * key_type / addr_type   — the address family it resolves;
 //   * name()                 — the row label benches print;
 //   * lookup_batch(keys, out, n) — resolve a burst (noexcept, const);
-//   * make_reader()          — per-worker read-side state whose guard() is
-//                              held around each burst.
+//   * make_reader()          — per-worker read-side state; a Reader::Guard
+//                              (a scoped EBR capability claim) is held
+//                              around each burst.
 //
 // Poptrie goes through router::Router (RIB + adjacency table + EBR), so it
 // supports live churn; the baselines are compiled read-only structures and
@@ -30,17 +31,28 @@
 #include "baselines/treebitmap.hpp"
 #include "rib/route.hpp"
 #include "router/router.hpp"
+#include "sync/annotations.hpp"
 #include "sync/ebr.hpp"
 
 namespace dataplane {
 
-/// Read-side state for engines with no concurrent-update machinery.
+/// Read-side state for engines with no concurrent-update machinery. Its
+/// Guard still claims the shared EBR capability so the worker loop is
+/// uniform across engines; the claim is vacuously sound — a read-only
+/// structure has no updater and retires nothing.
 struct NullReader {
-    struct Guard {};
-    [[nodiscard]] Guard guard() noexcept { return {}; }
+    class POPTRIE_SCOPED_CAPABILITY Guard {
+    public:
+        explicit Guard(NullReader&) noexcept POPTRIE_ACQUIRE_SHARED(psync::cap::ebr) {}
+        ~Guard() POPTRIE_RELEASE_GENERIC(psync::cap::ebr) {}
+        Guard(const Guard&) = delete;
+        Guard& operator=(const Guard&) = delete;
+    };
 };
 
 /// Read-side state wrapping an EBR registration (Poptrie's §3.5 contract).
+/// Guard is the real read-side critical section: enter() on construction,
+/// exit() on destruction, carrying the shared EBR capability in between.
 class EbrReader {
 public:
     explicit EbrReader(psync::EbrDomain::Reader reader) noexcept
@@ -48,10 +60,20 @@ public:
     {
     }
 
-    [[nodiscard]] psync::EbrDomain::Guard guard() noexcept
-    {
-        return psync::EbrDomain::Guard{reader_};
-    }
+    class POPTRIE_SCOPED_CAPABILITY Guard {
+    public:
+        explicit Guard(EbrReader& r) noexcept POPTRIE_ACQUIRE_SHARED(psync::cap::ebr)
+            : reader_(r.reader_)
+        {
+            reader_.enter();
+        }
+        ~Guard() POPTRIE_RELEASE_GENERIC(psync::cap::ebr) { reader_.exit(); }
+        Guard(const Guard&) = delete;
+        Guard& operator=(const Guard&) = delete;
+
+    private:
+        psync::EbrDomain::Reader& reader_;
+    };
 
 private:
     psync::EbrDomain::Reader reader_;
@@ -64,6 +86,7 @@ concept LpmEngine = requires(const E& ce, E& e, const typename E::key_type* keys
     typename E::addr_type;
     typename E::key_type;
     { ce.name() } -> std::convertible_to<std::string_view>;
+    // check-concurrency: allow -- requires-expression, spelled but never run.
     { ce.lookup_batch(keys, out, n) } noexcept;
     { e.make_reader() };
 };
@@ -81,8 +104,11 @@ public:
 
     [[nodiscard]] std::string_view name() const noexcept { return "poptrie"; }
 
+    // REQUIRES_SHARED: this is the serving path that races a live updater;
+    // the worker must hold a Guard (from make_reader()) for the whole burst.
+    // Deleting the guard in the worker loop fails the POPTRIE_TSA build.
     void lookup_batch(const key_type* keys, rib::NextHop* out,
-                      std::size_t n) const noexcept
+                      std::size_t n) const noexcept POPTRIE_REQUIRES_SHARED(psync::cap::ebr)
     {
         // One configuration branch per burst, then the lane-interleaved
         // prefetch-staged walk (poptrie.hpp) for the whole batch.

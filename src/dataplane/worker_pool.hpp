@@ -42,7 +42,11 @@ public:
     WorkerPool(const WorkerPool&) = delete;
     WorkerPool& operator=(const WorkerPool&) = delete;
 
-    /// Blocks until every worker returned. Idempotent.
+    /// Blocks until every worker returned. Idempotent. join() is the
+    /// dataplane's quiescence edge: once it returns, no worker thread exists,
+    /// so no EBR read-side critical section or StopFlag poller survives —
+    /// callers may then claim a psync::QuiescentSection (Dataplane::stop
+    /// rearms its StopFlag under one).
     void join();
 
     [[nodiscard]] unsigned size() const noexcept { return threads_count_; }

@@ -21,6 +21,9 @@ namespace poptrie {
 template <class Addr>
 Poptrie<Addr>::Poptrie(const Config& cfg) : cfg_(cfg)
 {
+    // quiescent: object under construction — no other thread can hold a
+    // reference yet, so there is trivially no reader anywhere.
+    const psync::QuiescentSection quiescent;
     const rib::RadixTrie<Addr> empty;
     build_from(empty);
 }
@@ -28,6 +31,8 @@ Poptrie<Addr>::Poptrie(const Config& cfg) : cfg_(cfg)
 template <class Addr>
 Poptrie<Addr>::Poptrie(const rib::RadixTrie<Addr>& rib, const Config& cfg) : cfg_(cfg)
 {
+    // quiescent: object under construction — no reader can exist yet.
+    const psync::QuiescentSection quiescent;
     if (cfg_.route_aggregation) {
         const auto aggregated = rib::aggregate(rib);
         build_from(aggregated);
@@ -164,6 +169,10 @@ void Poptrie<Addr>::ensure_headroom()
 template <class Addr>
 Stats Poptrie<Addr>::stats() const noexcept
 {
+    // reader: diagnostics snapshot of pool shapes/counters. Callers that
+    // race an updater get momentarily stale numbers, never a torn structure;
+    // no pointer into the pools escapes this frame.
+    const psync::EbrReadSection section;
     Stats s;
     s.internal_nodes = inode_count_;
     s.leaves = leaf_count_;

@@ -17,6 +17,16 @@
 // the EbrDomain; readers that run concurrently with updates must hold an
 // EbrDomain::Guard around batches of lookups. Growing the node/leaf pools is
 // NOT safe under concurrent readers — size headroom via Config, or quiesce.
+//
+// The contract is enforced statically (clang -Wthread-safety, DESIGN.md §9):
+// the pools are GUARDED_BY the EBR capability (psync::cap::ebr), the serving
+// path lookup_batch REQUIRES it shared (hold a real EBR guard and claim an
+// EbrReadSection), mutation paths REQUIRE it exclusive, and the paths that
+// move pool storage itself — compact(), reserve_headroom() — additionally
+// REQUIRE psync::cap::quiescent (no reader anywhere). Scalar lookup()/
+// lookup_raw() and apply() claim their sections internally: they are the
+// single-threaded convenience API, and the claim marks the caller's
+// obligation rather than spreading annotations through every test.
 #pragma once
 
 #include <cstdint>
@@ -32,6 +42,7 @@
 #include "poptrie/detail.hpp"
 #include "rib/radix_trie.hpp"
 #include "rib/route.hpp"
+#include "sync/annotations.hpp"
 #include "sync/atomic_utils.hpp"
 #include "sync/ebr.hpp"
 
@@ -110,6 +121,11 @@ public:
     template <bool UseLeafvec, bool SoftPopcount = false>
     [[nodiscard]] NextHop lookup_raw(value_type key) const noexcept
     {
+        // reader: scalar convenience path — the degenerate one-lookup read
+        // section. Callers racing a concurrent apply() must still hold a
+        // real EBR guard around their burst (the dataplane serving path goes
+        // through lookup_batch, which REQUIRES the capability instead).
+        const psync::EbrReadSection section;
         return lookup_impl<UseLeafvec, SoftPopcount>(key, cfg_.direct_bits);
     }
 
@@ -119,6 +135,7 @@ private:
     /// it down, instead of re-reading the config per key.
     template <bool UseLeafvec, bool SoftPopcount = false>
     [[nodiscard]] NextHop lookup_impl(value_type key, unsigned direct_bits) const noexcept
+        POPTRIE_REQUIRES_SHARED(psync::cap::ebr)
     {
         constexpr auto pop = [](std::uint64_t v) noexcept {
             if constexpr (SoftPopcount)
@@ -169,9 +186,12 @@ public:
     /// vector of destinations in hand (it always does — packets arrive in
     /// bursts) can overlap the memory latency of independent lookups. This
     /// is an extension beyond the paper; bench_ablation_options quantifies
-    /// it. Concurrency contract is the same as lookup().
+    /// it. This is the dataplane serving path, so unlike lookup() it does
+    /// not claim its own read section: the caller must hold the shared EBR
+    /// capability (a live guard + EbrReadSection) for the whole burst.
     template <bool UseLeafvec, unsigned Lanes = 8>
     void lookup_batch(const value_type* keys, NextHop* out, std::size_t n) const noexcept
+        POPTRIE_REQUIRES_SHARED(psync::cap::ebr)
     {
         static_assert(Lanes >= 2 && Lanes <= 32);
         // One config read per call: the direct/root dispatch is loop-
@@ -246,15 +266,20 @@ public:
     /// Registers the calling thread for safe lookups concurrent with apply().
     [[nodiscard]] psync::EbrDomain::Reader register_reader() { return ebr_->register_reader(); }
 
-    /// Runs pending reclamation to completion (quiescent point / shutdown).
-    void drain() { ebr_->drain(); }
+    /// Runs pending reclamation to completion. Writer-role only (exclusive
+    /// EBR capability): claim an EbrWriterSection on the updater thread, or
+    /// a QuiescentSection at a shutdown/maintenance point.
+    void drain() POPTRIE_REQUIRES(psync::cap::ebr) { ebr_->drain(); }
 
     /// Pre-grows the node/leaf pools to the configured headroom over the
     /// current occupancy. Quiescent-point only: growing reallocates the
     /// arrays, which is not safe under concurrent lookups — call after
     /// bulk-loading routes incrementally and *before* starting forwarding
     /// threads, so a subsequent update feed never grows under readers.
-    void reserve_headroom() { ensure_headroom(); }
+    void reserve_headroom() POPTRIE_REQUIRES(psync::cap::quiescent, psync::cap::ebr)
+    {
+        ensure_headroom();
+    }
 
     /// Rewrites the node and leaf arrays in DFS traversal order — every
     /// node's children contiguous and adjacent to their parent, leaf runs
@@ -267,8 +292,11 @@ public:
     /// Quiescent-point ONLY: the pool storage itself is replaced, which no
     /// amount of careful publication makes safe under concurrent lookups.
     /// Pause forwarding threads (lpmd stops its worker pool), run compact(),
-    /// resume. Lookup results are identical before and after.
-    void compact();
+    /// resume. Lookup results are identical before and after. The analysis
+    /// enforces exactly that: calling it without the quiescence capability
+    /// (a QuiescentSection claimed at a proven no-reader point) fails the
+    /// POPTRIE_TSA build.
+    void compact() POPTRIE_REQUIRES(psync::cap::quiescent, psync::cap::ebr);
 
     /// The canonical compacted layout rule, shared with the auditor: a run
     /// of `count` slots lands at the next block_size_for(count)-aligned
@@ -297,13 +325,18 @@ public:
     [[nodiscard]] const Config& config() const noexcept { return cfg_; }
 
 private:
-    // --- shared by builder & updater (definitions in poptrie.cpp) ---
-    void build_from(const rib::RadixTrie<Addr>& rib);
-    Node make_node(const detail::SlotCtx<Addr>& slot, unsigned level);
-    std::uint32_t build_root(const detail::SlotCtx<Addr>& slot, unsigned level);
-    std::uint32_t alloc_nodes(std::uint32_t n);
-    std::uint32_t alloc_leaves(std::uint32_t n);
-    void ensure_headroom();
+    // --- shared by builder & updater (definitions in poptrie.cpp). All of
+    // --- them mutate the EBR-guarded pools, so all REQUIRE the exclusive
+    // --- capability (held via apply()'s writer section or a ctor/compact
+    // --- quiescent section).
+    void build_from(const rib::RadixTrie<Addr>& rib) POPTRIE_REQUIRES(psync::cap::ebr);
+    Node make_node(const detail::SlotCtx<Addr>& slot, unsigned level)
+        POPTRIE_REQUIRES(psync::cap::ebr);
+    std::uint32_t build_root(const detail::SlotCtx<Addr>& slot, unsigned level)
+        POPTRIE_REQUIRES(psync::cap::ebr);
+    std::uint32_t alloc_nodes(std::uint32_t n) POPTRIE_REQUIRES(psync::cap::ebr);
+    std::uint32_t alloc_leaves(std::uint32_t n) POPTRIE_REQUIRES(psync::cap::ebr);
+    void ensure_headroom() POPTRIE_REQUIRES(psync::cap::ebr);
 
     // --- updater internals ---
     struct Rebuilt {
@@ -316,12 +349,15 @@ private:
         unsigned plen = 0;
     };
     Rebuilt update_node(std::uint32_t index, const detail::SlotCtx<Addr>& slot, unsigned level,
-                        value_type base, const Affected& aff);
+                        value_type base, const Affected& aff) POPTRIE_REQUIRES(psync::cap::ebr);
     void update_direct_slot(const rib::RadixTrie<Addr>& rib, std::uint64_t d,
-                            const Affected& aff);
-    void retire_nodes(std::uint32_t offset, std::uint32_t count);
-    void retire_leaves(std::uint32_t offset, std::uint32_t count);
-    void retire_contents(const Node& n);  // descendant arrays incl. n's own
+                            const Affected& aff) POPTRIE_REQUIRES(psync::cap::ebr);
+    void retire_nodes(std::uint32_t offset, std::uint32_t count)
+        POPTRIE_REQUIRES(psync::cap::ebr);
+    void retire_leaves(std::uint32_t offset, std::uint32_t count)
+        POPTRIE_REQUIRES(psync::cap::ebr);
+    // Descendant arrays incl. n's own.
+    void retire_contents(const Node& n) POPTRIE_REQUIRES(psync::cap::ebr);
 
     // --- compaction internals (compactor.ipp) ---
     /// Fresh pools being filled in DFS order, plus the (offset, count) runs
@@ -334,8 +370,9 @@ private:
         std::uint64_t node_cursor = 0;
         std::uint64_t leaf_cursor = 0;
     };
-    std::uint32_t compact_root(std::uint32_t index, CompactPools& out);
-    Node compact_node(const Node& n, CompactPools& out);
+    std::uint32_t compact_root(std::uint32_t index, CompactPools& out)
+        POPTRIE_REQUIRES(psync::cap::ebr);
+    Node compact_node(const Node& n, CompactPools& out) POPTRIE_REQUIRES(psync::cap::ebr);
 
     /// 6-bit chunk at bit offset `off`, zero-padded past the address width
     /// (the builder uses the same convention, so the padded slots agree).
@@ -347,6 +384,7 @@ private:
     }
 
     [[nodiscard]] std::uint32_t old_child_index(const Node& n, unsigned u) const noexcept
+        POPTRIE_REQUIRES_SHARED(psync::cap::ebr)
     {
         return n.base1 +
                static_cast<std::uint32_t>(netbase::popcount64(
@@ -355,6 +393,7 @@ private:
     }
 
     [[nodiscard]] NextHop old_leaf_value(const Node& n, unsigned u) const noexcept
+        POPTRIE_REQUIRES_SHARED(psync::cap::ebr)
     {
         const std::uint64_t lv = cfg_.leaf_compression ? n.leafvec : ~n.vector;
         return leaves_[n.base0 +
@@ -376,16 +415,21 @@ private:
     // pending deleters) and heap-allocated so those raw Arena* references
     // survive moves of the Poptrie object itself.
     std::unique_ptr<alloc::Arena> arena_ = std::make_unique<alloc::Arena>(cfg_.hugepages);
-    NodePool nodes_{arena_.get()};
-    LeafPool leaves_{arena_.get()};
-    DirectPool direct_{arena_.get()};  // 2^s entries when direct_bits > 0
-    std::uint32_t root_ = 0;           // root node index when direct_bits == 0
+    // The pools and their allocators are the EBR-protected state: readers
+    // may traverse them only inside a read-side critical section, and only
+    // the single writer may mutate them (GUARDED_BY/PT_GUARDED_BY below).
+    NodePool nodes_ POPTRIE_GUARDED_BY(psync::cap::ebr) = NodePool{arena_.get()};
+    LeafPool leaves_ POPTRIE_GUARDED_BY(psync::cap::ebr) = LeafPool{arena_.get()};
+    // 2^s entries when direct_bits > 0.
+    DirectPool direct_ POPTRIE_GUARDED_BY(psync::cap::ebr) = DirectPool{arena_.get()};
+    // Root node index when direct_bits == 0.
+    std::uint32_t root_ POPTRIE_GUARDED_BY(psync::cap::ebr) = 0;
     // Heap-allocated so retired-block deleters can capture stable pointers
     // even if the Poptrie object itself is moved.
-    std::unique_ptr<alloc::BuddyAllocator> node_alloc_ =
-        std::make_unique<alloc::BuddyAllocator>(1024);
-    std::unique_ptr<alloc::BuddyAllocator> leaf_alloc_ =
-        std::make_unique<alloc::BuddyAllocator>(1024);
+    std::unique_ptr<alloc::BuddyAllocator> node_alloc_ POPTRIE_GUARDED_BY(psync::cap::ebr)
+        POPTRIE_PT_GUARDED_BY(psync::cap::ebr) = std::make_unique<alloc::BuddyAllocator>(1024);
+    std::unique_ptr<alloc::BuddyAllocator> leaf_alloc_ POPTRIE_GUARDED_BY(psync::cap::ebr)
+        POPTRIE_PT_GUARDED_BY(psync::cap::ebr) = std::make_unique<alloc::BuddyAllocator>(1024);
     std::unique_ptr<psync::EbrDomain> ebr_ = std::make_unique<psync::EbrDomain>();
     std::size_t inode_count_ = 0;
     std::size_t leaf_count_ = 0;

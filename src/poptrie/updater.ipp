@@ -218,6 +218,11 @@ void Poptrie<Addr>::update_direct_slot(const rib::RadixTrie<Addr>& rib, std::uin
 template <class Addr>
 void Poptrie<Addr>::apply(rib::RadixTrie<Addr>& rib, const prefix_type& prefix, NextHop next_hop)
 {
+    // writer: apply() is the single-updater entry point (§3.5 assumes
+    // "single-threaded update operation"); the caller guarantees exactly one
+    // thread is in here, so this thread holds the exclusive EBR role for the
+    // duration of the patch.
+    const psync::EbrWriterSection writer;
     if (next_hop == rib::kNoRoute) {
         rib.erase(prefix);
     } else {

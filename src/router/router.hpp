@@ -27,6 +27,7 @@
 #include "poptrie/poptrie.hpp"
 #include "rib/radix_trie.hpp"
 #include "rib/route.hpp"
+#include "sync/annotations.hpp"
 
 namespace router {
 
@@ -105,19 +106,27 @@ public:
     [[nodiscard]] const poptrie::Poptrie<Addr>& fib() const noexcept { return fib_; }
     [[nodiscard]] const rib::RadixTrie<Addr>& rib() const noexcept { return rib_; }
 
-    /// Runs deferred FIB-memory reclamation to completion (quiescent point).
-    void drain() { fib_.drain(); }
+    /// Runs deferred FIB-memory reclamation to completion. Writer-role only
+    /// (exclusive EBR capability — claim an EbrWriterSection on the updater
+    /// thread or a QuiescentSection at a shutdown point).
+    void drain() POPTRIE_REQUIRES(psync::cap::ebr) { fib_.drain(); }
 
     /// Pre-grows FIB pools to the configured headroom (quiescent point;
     /// see Poptrie::reserve_headroom). Call after bulk add_route loading,
     /// before forwarding threads start, when updates will run concurrently.
-    void reserve_fib_headroom() { fib_.reserve_headroom(); }
+    void reserve_fib_headroom() POPTRIE_REQUIRES(psync::cap::quiescent, psync::cap::ebr)
+    {
+        fib_.reserve_headroom();
+    }
 
     /// Rewrites the FIB arrays in DFS traversal order, restoring fresh-build
     /// cache locality after a long update churn (see Poptrie::compact).
     /// Quiescent-point only: forwarding threads must be paused around the
     /// call — the pool storage itself is replaced.
-    void compact_fib() { fib_.compact(); }
+    void compact_fib() POPTRIE_REQUIRES(psync::cap::quiescent, psync::cap::ebr)
+    {
+        fib_.compact();
+    }
 
 private:
     using Key = std::pair<typename Addr::value_type, std::string>;

@@ -18,8 +18,8 @@ namespace psync {
 template <class T>
 [[nodiscard]] inline T load_acquire(const T& loc) noexcept
 {
-    // order: acquire — pairs with store_release(); everything the updater
-    // wrote before publishing is visible once this load observes the value.
+    // order: acquire [cap:fib] — pairs with store_release(); everything the
+    // updater wrote before publishing is visible once this load observes it.
     return std::atomic_ref<T>(const_cast<T&>(loc)).load(std::memory_order_acquire);
 }
 
@@ -29,8 +29,8 @@ template <class T>
 template <class T>
 [[nodiscard]] inline T load_relaxed(const T& loc) noexcept
 {
-    // order: relaxed — callers reach this field through an index obtained by
-    // a preceding load_acquire, which already provides the needed ordering.
+    // order: relaxed [cap:fib] — callers reach this field through an index
+    // obtained by a preceding load_acquire, which provides the ordering.
     return std::atomic_ref<T>(const_cast<T&>(loc)).load(std::memory_order_relaxed);
 }
 
@@ -38,8 +38,8 @@ template <class T>
 template <class T>
 inline void store_release(T& loc, T value) noexcept
 {
-    // order: release — sequences the private construction of the replacement
-    // arrays before the pointer/index swing; pairs with load_acquire().
+    // order: release [cap:fib] — sequences the private construction of the
+    // replacement arrays before the index swing; pairs with load_acquire().
     std::atomic_ref<T>(loc).store(value, std::memory_order_release);
 }
 

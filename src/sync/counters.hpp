@@ -16,6 +16,8 @@
 #include <atomic>
 #include <cstdint>
 
+#include "sync/annotations.hpp"
+
 namespace psync {
 
 /// Monotonic event counter on its own cache line. One writer, any readers.
@@ -26,16 +28,16 @@ struct alignas(64) EventCounter {
 
     void add(std::uint64_t n) noexcept
     {
-        // order: relaxed (load and store) — a statistic with a single
-        // incrementing thread; observers tolerate momentary staleness.
+        // order: relaxed (load and store) [cap:stats] — a statistic with a
+        // single incrementing thread; observers tolerate staleness.
         const auto v = value_.load(std::memory_order_relaxed);
-        value_.store(v + n, std::memory_order_relaxed);  // order: see above
+        value_.store(v + n, std::memory_order_relaxed);  // order: see above [cap:stats]
     }
 
     [[nodiscard]] std::uint64_t read() const noexcept
     {
-        // order: relaxed — snapshot for reporting only; never used to
-        // justify access to other shared data.
+        // order: relaxed [cap:stats] — snapshot for reporting only; never
+        // used to justify access to other shared data.
         return value_.load(std::memory_order_relaxed);
     }
 
@@ -48,22 +50,27 @@ class StopFlag {
 public:
     void request() noexcept
     {
-        // order: release — anything the requester wrote before stopping is
-        // visible to a worker that sees the flag via the acquire load below.
+        // order: release [cap:stop-flag] — anything the requester wrote
+        // before stopping is visible to a worker that acquires the flag.
         stop_.store(true, std::memory_order_release);
     }
 
     [[nodiscard]] bool requested() const noexcept
     {
-        // order: acquire — pairs with request()'s release store.
+        // order: acquire [cap:stop-flag] — pairs with request()'s release.
         return stop_.load(std::memory_order_acquire);
     }
 
     /// Rearms the flag. Only valid once every thread that polls it has
-    /// joined (otherwise a worker could miss the shutdown entirely).
-    void reset() noexcept
+    /// joined (otherwise a worker could miss the shutdown entirely) — which
+    /// is exactly the quiescence capability, so the analysis rejects a
+    /// rearm outside a join/park window. tools/check_concurrency.py rule R3
+    /// additionally checks the dynamic shape: a `.reset()` on a StopFlag
+    /// must follow a join in the same scope.
+    void reset() noexcept POPTRIE_REQUIRES(cap::quiescent)
     {
-        // order: relaxed — by contract no poller is running concurrently.
+        // order: relaxed [cap:stop-flag] — by contract (cap::quiescent) no
+        // poller is running concurrently.
         stop_.store(false, std::memory_order_relaxed);
     }
 
@@ -94,31 +101,35 @@ public:
     /// Orchestrator: requests a pause; pass the token to parked_since().
     [[nodiscard]] std::uint64_t request_pause() noexcept
     {
-        // order: acquire — the token must be read before the request is
-        // published, or a park that races the request could be miscounted.
+        // order: acquire [cap:pause-gate] — the token must be read before the
+        // request publishes, or a park racing the request is miscounted.
         const auto token = parks_.load(std::memory_order_acquire);
-        pause_.store(true, std::memory_order_release);  // order: see class doc
+        // order: release [cap:pause-gate] — see the class protocol doc.
+        pause_.store(true, std::memory_order_release);
         return token;
     }
 
     /// Orchestrator: true once the worker parked after request_pause().
     [[nodiscard]] bool parked_since(std::uint64_t token) const noexcept
     {
-        // order: acquire — pairs with enter_park()'s release increment.
+        // order: acquire [cap:pause-gate] — pairs with enter_park()'s
+        // release increment.
         return parks_.load(std::memory_order_acquire) != token;
     }
 
     /// Orchestrator: lifts the pause; the parked worker resumes.
     void resume() noexcept
     {
-        // order: release — pairs with pause_requested()'s acquire load.
+        // order: release [cap:pause-gate] — pairs with pause_requested()'s
+        // acquire load.
         pause_.store(false, std::memory_order_release);
     }
 
     /// Worker: polls for a pause request (also the in-park wait condition).
     [[nodiscard]] bool pause_requested() const noexcept
     {
-        // order: acquire — pairs with request_pause()/resume()'s releases.
+        // order: acquire [cap:pause-gate] — pairs with request_pause() and
+        // resume()'s release stores.
         return pause_.load(std::memory_order_acquire);
     }
 
@@ -126,11 +137,16 @@ public:
     /// pause_requested() before touching shared state again.
     void enter_park() noexcept
     {
-        // order: release — publishes everything written before the park.
+        // order: release [cap:pause-gate] — publishes everything written
+        // before the park.
         parks_.fetch_add(1, std::memory_order_release);
     }
 
 private:
+    // Handshake fields. Nothing outside this class may name them: rule R4 of
+    // tools/check_concurrency.py flags any `.pause_`/`.parks_` member access
+    // outside this header, so the generation-counter protocol above is the
+    // only way in.
     std::atomic<bool> pause_{false};
     std::atomic<std::uint64_t> parks_{0};
 };

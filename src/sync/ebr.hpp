@@ -26,6 +26,8 @@
 #include <optional>
 #include <vector>
 
+#include "sync/annotations.hpp"
+
 namespace psync {
 
 // ThreadSanitizer does not model std::atomic_thread_fence (GCC even rejects
@@ -97,13 +99,13 @@ public:
         ///    keeps the retired block — or the writer's fence comes first —
         ///    then our subsequent structure reads see the writer's
         ///    replacement pointers, not the retired block.
-        void enter() noexcept
+        void enter() noexcept POPTRIE_ACQUIRE_SHARED(cap::ebr)
         {
-            // order: relaxed — a stale (smaller) epoch only makes the writer
-            // more conservative (see the contract above).
+            // order: relaxed [cap:ebr] — a stale (smaller) epoch only makes
+            // the writer more conservative (see the contract above).
             const auto e = domain_->epoch_.load(std::memory_order_relaxed);
-            // order: relaxed — visibility before structure reads is provided
-            // by the seq_cst fence on the next line, not by this store.
+            // order: relaxed [cap:ebr] — visibility before structure reads is
+            // provided by the seq_cst fence on the next line, not this store.
             slot_->store(e, std::memory_order_relaxed);
             domain_->fence_seq_cst();
         }
@@ -113,9 +115,12 @@ public:
         /// becoming quiescent: when the writer's acquire scan in
         /// min_active_epoch() observes kQuiescent, all of this section's
         /// reads happened-before the writer's subsequent free.
-        // order: release — sequences every structure read before the slot
-        // turns quiescent; pairs with the acquire scan in min_active_epoch().
-        void exit() noexcept { slot_->store(kQuiescent, std::memory_order_release); }
+        void exit() noexcept POPTRIE_RELEASE_SHARED(cap::ebr)
+        {
+            // order: release [cap:ebr] — sequences every structure read before
+            // the slot turns quiescent; pairs with min_active_epoch()'s scan.
+            slot_->store(kQuiescent, std::memory_order_release);
+        }
 
     private:
         friend class EbrDomain;
@@ -135,11 +140,16 @@ public:
         std::atomic<std::uint64_t>* slot_ = nullptr;
     };
 
-    /// RAII wrapper around Reader::enter/exit.
-    class Guard {
+    /// RAII wrapper around Reader::enter/exit. Holding one IS the shared EBR
+    /// capability (cap::ebr): the analysis lets the enclosed code reach
+    /// EBR-guarded state for exactly the guard's lifetime.
+    class POPTRIE_SCOPED_CAPABILITY Guard {
     public:
-        explicit Guard(Reader& r) noexcept : reader_(r) { reader_.enter(); }
-        ~Guard() { reader_.exit(); }
+        explicit Guard(Reader& r) noexcept POPTRIE_ACQUIRE_SHARED(cap::ebr) : reader_(r)
+        {
+            reader_.enter();
+        }
+        ~Guard() POPTRIE_RELEASE_GENERIC(cap::ebr) { reader_.exit(); }
         Guard(const Guard&) = delete;
         Guard& operator=(const Guard&) = delete;
 
@@ -156,17 +166,18 @@ public:
     [[nodiscard]] Reader register_reader();
 
     /// Queues `deleter` to run once no reader can still observe the retired
-    /// object. Writer-thread only. The object must already be unreachable
-    /// from the live structure.
-    void retire(std::function<void()> deleter);
+    /// object. Writer-thread only (REQUIRES the exclusive EBR capability:
+    /// only the single writer may touch the limbo list). The object must
+    /// already be unreachable from the live structure.
+    void retire(std::function<void()> deleter) POPTRIE_REQUIRES(cap::ebr);
 
     /// Advances the epoch and frees every retired object whose grace period
     /// has elapsed. Returns the number of deleters run. Writer-thread only.
-    std::size_t try_reclaim();
+    std::size_t try_reclaim() POPTRIE_REQUIRES(cap::ebr);
 
     /// Blocks (spinning) until everything retired so far is freed. Writer-
     /// thread only; used on shutdown and in tests.
-    void drain();
+    void drain() POPTRIE_REQUIRES(cap::ebr);
 
     /// Objects currently awaiting reclamation (diagnostics).
     [[nodiscard]] std::size_t pending() const noexcept { return limbo_.size(); }
@@ -205,11 +216,11 @@ private:
     void fence_seq_cst() const noexcept
     {
 #ifdef POPTRIE_TSAN
-        // order: seq_cst — RMWs on one variable are totally ordered, giving
-        // the same either/or disjunction as the fence (header note above).
+        // order: seq_cst [cap:ebr] — RMWs on one variable are totally
+        // ordered, giving the same either/or disjunction as the fence.
         fence_sync_.fetch_add(0, std::memory_order_seq_cst);
 #else
-        // order: seq_cst — Dekker-style pairing between the reader's slot
+        // order: seq_cst [cap:ebr] — Dekker pairing between the reader's slot
         // publication and the writer's slot scan; nothing weaker suffices.
         std::atomic_thread_fence(std::memory_order_seq_cst);
 #endif
@@ -230,13 +241,18 @@ private:
 #ifdef POPTRIE_TSAN
     mutable std::atomic<std::uint64_t> fence_sync_{0};  // RMW target, value unused
 #endif
-    mutable std::mutex reader_mutex_;
+    mutable Mutex reader_mutex_;
     // Deque of stable-address slots; readers keep pointers into it. Slots are
     // never destroyed (addresses must stay valid for the domain's lifetime);
-    // unregistered ones park on free_slots_ for reuse.
-    std::deque<std::atomic<std::uint64_t>> slots_;
-    std::vector<std::atomic<std::uint64_t>*> free_slots_;
-    std::deque<Retired> limbo_;  // writer-private, ordered by epoch
+    // unregistered ones park on free_slots_ for reuse. Container shape is
+    // GUARDED_BY the registration mutex; the atomic *contents* of a slot are
+    // accessed lock-free through Reader's stable pointer by design.
+    std::deque<std::atomic<std::uint64_t>> slots_ POPTRIE_GUARDED_BY(reader_mutex_);
+    std::vector<std::atomic<std::uint64_t>*> free_slots_ POPTRIE_GUARDED_BY(reader_mutex_);
+    // Writer-private, ordered by epoch. Not GUARDED_BY anything the analysis
+    // can name: "the single writer thread" is the cap::ebr exclusive role,
+    // enforced on retire()/try_reclaim()/drain() via REQUIRES above.
+    std::deque<Retired> limbo_;
 };
 
 }  // namespace psync

@@ -104,6 +104,8 @@ TEST(Audit, CleanOnEmptyTable)
 
 TEST(Audit, CleanThroughUpdateChurn)
 {
+    // writer: single-threaded test — this thread is the sole updater.
+    const psync::EbrWriterSection writer;
     workload::TableGenConfig gen;
     gen.seed = 7;
     gen.target_routes = 20'000;
@@ -141,6 +143,8 @@ TEST(Audit, CleanThroughUpdateChurn)
 
 TEST(Audit, CleanIPv6ThroughUpdateChurn)
 {
+    // writer: single-threaded test — this thread is the sole updater.
+    const psync::EbrWriterSection writer;
     workload::TableGen6Config gen;
     gen.seed = 3;
     const auto routes = workload::generate_table6(gen);
@@ -336,7 +340,11 @@ TEST(AuditFaultInjection, DetectsAliasedSubtree)
 // ---------------------------------------------------------------------------
 // Sub-auditors in isolation.
 
-TEST(AuditEbr, CleanDomainAndRetireFlow)
+// Plays both EBR roles (reader guard + retire/drain) on one thread to walk
+// the auditor through every domain state; TSA models capabilities
+// per-function and would reject the role mix, so the body is NO_TSA — the
+// single-threaded harness is the out-of-band safety argument.
+static void audit_ebr_clean_domain_and_retire_flow() POPTRIE_NO_TSA
 {
     psync::EbrDomain d;
     EXPECT_TRUE(analysis::audit_ebr(d).ok());
@@ -352,6 +360,8 @@ TEST(AuditEbr, CleanDomainAndRetireFlow)
     EXPECT_EQ(freed, 1);
     EXPECT_TRUE(analysis::audit_ebr(d).ok());
 }
+
+TEST(AuditEbr, CleanDomainAndRetireFlow) { audit_ebr_clean_domain_and_retire_flow(); }
 
 TEST(AuditAllocator, CleanFreshAndAfterChurn)
 {

@@ -12,6 +12,7 @@
 #include "dataplane/dataplane.hpp"
 #include "dataplane/engines.hpp"
 #include "dataplane/worker_pool.hpp"
+#include "sync/annotations.hpp"
 #include "sync/counters.hpp"
 #include "sync/spsc_ring.hpp"
 #include "workload/tablegen.hpp"
@@ -35,6 +36,10 @@ TEST(SpscRing, CapacityRoundsUpToPowerOfTwo)
 TEST(SpscRing, FullAndEmptySingleThread)
 {
     psync::SpscRing<int> ring(4);
+    // One thread legitimately plays both SPSC roles when nothing runs
+    // concurrently; the tokens make that claim visible to the analysis.
+    const psync::SpscProducerToken producer{ring};
+    const psync::SpscConsumerToken consumer{ring};
     EXPECT_TRUE(ring.empty());
     int v = 0;
     EXPECT_FALSE(ring.try_pop(v));  // empty pop fails
@@ -52,6 +57,8 @@ TEST(SpscRing, FullAndEmptySingleThread)
 TEST(SpscRing, BatchPushAcceptsPartially)
 {
     psync::SpscRing<int> ring(8);
+    const psync::SpscProducerToken producer{ring};  // single-threaded test
+    const psync::SpscConsumerToken consumer{ring};
     std::vector<int> in(6);
     std::iota(in.begin(), in.end(), 0);
     EXPECT_EQ(ring.push(in.data(), in.size()), 6u);
@@ -70,6 +77,8 @@ TEST(SpscRing, WraparoundPreservesFifo)
     // A tiny ring cycled far past its capacity: every element must come out
     // exactly once, in order, across many index wraps.
     psync::SpscRing<std::uint32_t> ring(4);
+    const psync::SpscProducerToken producer{ring};  // single-threaded test
+    const psync::SpscConsumerToken consumer{ring};
     std::uint32_t next_in = 0;
     std::uint32_t next_out = 0;
     std::uint32_t buf[3];
@@ -93,6 +102,7 @@ TEST(SpscRing, CrossThreadTransferIntegrity)
     psync::SpscRing<std::uint64_t> ring(64);
     constexpr std::uint64_t kCount = 200'000;
     std::thread producer([&] {
+        const psync::SpscProducerToken token{ring};  // this thread is the one producer
         std::uint64_t next = 0;
         std::uint64_t batch[17];
         while (next < kCount) {
@@ -104,6 +114,7 @@ TEST(SpscRing, CrossThreadTransferIntegrity)
             next += ring.push(batch, n);
         }
     });
+    const psync::SpscConsumerToken consumer{ring};  // main thread is the one consumer
     std::uint64_t expect = 0;
     std::uint64_t out[32];
     while (expect < kCount) {
@@ -183,7 +194,11 @@ TEST(Dataplane, CountsAgreeWithDirectLookups)
     EXPECT_EQ(s.forwarded + s.no_route, addrs.size());  // conservation
     EXPECT_EQ(s.forwarded, expect_hits);                // agreement
     EXPECT_GT(s.batches, 0u);
-    EXPECT_GT(dp.merged_latency().observed(), 0u);
+    {
+        // quiescent: dp.stop() above joined every worker.
+        const psync::QuiescentSection quiescent;
+        EXPECT_GT(dp.merged_latency().observed(), 0u);
+    }
 }
 
 TEST(Dataplane, DropsAreCountedWhenRingsStayFull)
@@ -221,6 +236,7 @@ public:
     [[nodiscard]] std::string_view name() const noexcept { return "validating"; }
 
     void lookup_batch(const key_type* keys, rib::NextHop* out, std::size_t n) const noexcept
+        POPTRIE_REQUIRES_SHARED(psync::cap::ebr)
     {
         inner_.lookup_batch(keys, out, n);
         std::uint64_t bad = 0;
@@ -248,7 +264,11 @@ TEST(Dataplane, ForwardingStaysValidUnderLiveChurn)
     pcfg.pool_headroom_log2 = 6;  // pool growth is not reader-safe (§3.5)
     router::Router4 router{pcfg};
     dataplane::load_routes(router, routes);
-    router.reserve_fib_headroom();
+    {
+        // quiescent: no worker thread has been spawned yet.
+        const psync::QuiescentSection quiescent;
+        router.reserve_fib_headroom();
+    }
     const auto growths_at_start = router.fib().update_counters().pool_growths;
 
     // Adjacency indices are interned: 32 table hops plus the feed's next-hop
@@ -274,7 +294,12 @@ TEST(Dataplane, ForwardingStaysValidUnderLiveChurn)
     }
     churn.stop_and_join();
     dp.stop();
-    router.drain();
+    {
+        // writer: churn thread and workers joined above; this thread is the
+        // only one left touching the domain.
+        const psync::EbrWriterSection writer;
+        router.drain();
+    }
 
     EXPECT_EQ(churn.applied(), 3'000u);
     EXPECT_EQ(churn.announcements() + churn.withdrawals(), churn.applied());
@@ -303,6 +328,8 @@ TEST(ChurnRunner, AppliesWholeFeedAndCounts)
     EXPECT_GT(churn.announcements(), churn.withdrawals());  // 77.4% / 22.6% mix
     // The table evolved but stayed the same order of magnitude.
     EXPECT_GT(router.route_count(), before / 2);
+    // writer: the churn thread joined above; only this thread remains.
+    const psync::EbrWriterSection writer;
     router.drain();
 }
 

@@ -5,6 +5,7 @@
 #include "baselines/multiway.hpp"
 #include "helpers.hpp"
 #include "poptrie/poptrie.hpp"
+#include "sync/annotations.hpp"
 #include "workload/tablegen.hpp"
 
 using namespace testhelpers;
@@ -80,6 +81,9 @@ class PoptrieBatch : public testing::TestWithParam<unsigned> {};
 
 TEST_P(PoptrieBatch, MatchesScalarLookups)
 {
+    // reader: single-threaded test, no updater exists — the batch lookups
+    // below are trivially inside a read-side critical section.
+    const psync::EbrReadSection section;
     workload::TableGenConfig gen;
     gen.seed = 43;
     gen.target_routes = 30'000;
@@ -116,6 +120,8 @@ INSTANTIATE_TEST_SUITE_P(DirectBits, PoptrieBatch, testing::Values(0u, 16u, 18u)
 
 TEST(PoptrieBatch, EmptyAndTinyInputs)
 {
+    // reader: single-threaded test, no updater exists.
+    const psync::EbrReadSection section;
     const auto rib = load(corner_case_table());
     const Poptrie4 pt{rib};
     std::vector<std::uint32_t> keys{0x0A200501u};
@@ -128,6 +134,8 @@ TEST(PoptrieBatch, EmptyAndTinyInputs)
 
 TEST(PoptrieBatch, BasicModeAgrees)
 {
+    // reader: single-threaded test, no updater exists.
+    const psync::EbrReadSection section;
     const auto rib = load(corner_case_table());
     poptrie::Config cfg;
     cfg.leaf_compression = false;

@@ -15,6 +15,7 @@
 #include "helpers.hpp"
 #include "poptrie/poptrie.hpp"
 #include "router/router.hpp"
+#include "sync/annotations.hpp"
 #include "workload/tablegen.hpp"
 #include "workload/updatefeed.hpp"
 
@@ -51,6 +52,8 @@ void expect_compacted_audit(const Poptrie4& pt, const rib::RadixTrie<Ipv4Addr>& 
 
 TEST(PoptrieCompact, FreshBuildSurvivesCompaction)
 {
+    // quiescent: single-threaded test — no reader thread ever exists.
+    const psync::QuiescentSection quiescent;
     for (const unsigned db : {0u, 12u, 16u, 18u}) {
         auto rib = load(corner_case_table());
         Config cfg;
@@ -68,6 +71,8 @@ TEST(PoptrieCompact, FreshBuildSurvivesCompaction)
 
 TEST(PoptrieCompact, EmptyTable)
 {
+    // quiescent: single-threaded test — no reader thread ever exists.
+    const psync::QuiescentSection quiescent;
     rib::RadixTrie<Ipv4Addr> rib;
     Config cfg;
     cfg.direct_bits = 16;
@@ -83,6 +88,8 @@ TEST(PoptrieCompact, EmptyTable)
 
 TEST(PoptrieCompact, ChurnedTableCompactsToEquivalentDenseLayout)
 {
+    // quiescent: single-threaded test — no reader thread ever exists.
+    const psync::QuiescentSection quiescent;
     workload::TableGenConfig gen;
     gen.seed = 17;
     gen.target_routes = 20'000;
@@ -123,6 +130,8 @@ TEST(PoptrieCompact, ChurnedTableCompactsToEquivalentDenseLayout)
 
 TEST(PoptrieCompact, CompactionIsIdempotent)
 {
+    // quiescent: single-threaded test — no reader thread ever exists.
+    const psync::QuiescentSection quiescent;
     workload::TableGenConfig gen;
     gen.seed = 23;
     gen.target_routes = 5'000;
@@ -144,6 +153,8 @@ TEST(PoptrieCompact, CompactionIsIdempotent)
 
 TEST(PoptrieCompact, UpdatesKeepWorkingAfterCompaction)
 {
+    // quiescent: single-threaded test — no reader thread ever exists.
+    const psync::QuiescentSection quiescent;
     workload::TableGenConfig gen;
     gen.seed = 31;
     gen.target_routes = 10'000;
@@ -173,6 +184,8 @@ TEST(PoptrieCompact, UpdatesKeepWorkingAfterCompaction)
 
 TEST(PoptrieCompact, WithdrawAllThenCompactReleasesStructure)
 {
+    // quiescent: single-threaded test — no reader thread ever exists.
+    const psync::QuiescentSection quiescent;
     auto routes = corner_case_table();
     auto rib = load(routes);
     Config cfg;
@@ -187,6 +200,8 @@ TEST(PoptrieCompact, WithdrawAllThenCompactReleasesStructure)
 
 TEST(PoptrieCompact, Ipv6ChurnCompactEquivalence)
 {
+    // quiescent: single-threaded test — no reader thread ever exists.
+    const psync::QuiescentSection quiescent;
     workload::TableGen6Config gen;
     gen.seed = 9;
     const auto routes = workload::generate_table6(gen);
@@ -211,6 +226,8 @@ TEST(PoptrieCompact, Ipv6ChurnCompactEquivalence)
 
 TEST(PoptrieCompact, RouterCompactFib)
 {
+    // quiescent: single-threaded test — no reader thread ever exists.
+    const psync::QuiescentSection quiescent;
     router::Router4 rt;
     const router::Adjacency<Ipv4Addr> gw1{*netbase::parse_ipv4("192.0.2.1"), "eth0"};
     const router::Adjacency<Ipv4Addr> gw2{*netbase::parse_ipv4("192.0.2.2"), "eth1"};
@@ -246,7 +263,11 @@ TEST(PoptrieCompactConcurrent, QuiescentCompactionBetweenReaderPhases)
     cfg.direct_bits = 16;
     cfg.pool_headroom_log2 = 3;  // pool growth is not reader-safe
     Poptrie4 pt{rib, cfg};
-    pt.reserve_headroom();
+    {
+        // quiescent: no reader thread has been spawned yet.
+        const psync::QuiescentSection quiescent;
+        pt.reserve_headroom();
+    }
 
     workload::UpdateFeedConfig ucfg;
     ucfg.updates = 3'000;
@@ -275,7 +296,12 @@ TEST(PoptrieCompactConcurrent, QuiescentCompactionBetweenReaderPhases)
         for (std::size_t i = lo; i < hi; ++i) pt.apply(rib, feed[i].prefix, feed[i].next_hop);
         stop = true;
         readers.clear();  // join: quiescent point — no reader holds a guard
-        pt.compact();
+        {
+            // quiescent: this phase's readers joined on the line above and
+            // the next phase's have not started.
+            const psync::QuiescentSection quiescent;
+            pt.compact();
+        }
         AuditOptions opt;
         opt.random_probes = 512;
         opt.max_boundary_routes = 0;

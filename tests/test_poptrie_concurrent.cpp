@@ -22,6 +22,9 @@ using poptrie::Poptrie4;
 
 TEST(PoptrieConcurrent, ReadersSeeOnlyValidNextHops)
 {
+    // writer: this thread replays the feed alone; readers run in jthreads
+    // under their own EbrDomain::Guard.
+    const psync::EbrWriterSection writer;
     workload::TableGenConfig gen;
     gen.seed = 55;
     gen.target_routes = 30'000;
@@ -83,6 +86,9 @@ TEST(PoptrieConcurrent, ReadersSeeOnlyValidNextHops)
 
 TEST(PoptrieConcurrent, ReclamationMakesProgressUnderReaders)
 {
+    // writer: this thread churns one prefix alone; the reader jthread holds
+    // its own EbrDomain::Guard.
+    const psync::EbrWriterSection writer;
     rib::RadixTrie<Ipv4Addr> rib;
     Config cfg;
     cfg.direct_bits = 0;

@@ -6,6 +6,7 @@
 #include "analysis/audit.hpp"
 #include "helpers.hpp"
 #include "poptrie/poptrie.hpp"
+#include "sync/annotations.hpp"
 #include "workload/tablegen.hpp"
 #include "workload/updatefeed.hpp"
 
@@ -106,6 +107,8 @@ TEST(PoptrieUpdate, NextHopChangeOnly)
 
 TEST(PoptrieUpdate, HostRouteChurnDeepensAndCollapses)
 {
+    // writer: single-threaded test — this thread is the sole updater.
+    const psync::EbrWriterSection writer;
     rib::RadixTrie<Ipv4Addr> rib;
     rib.insert(pfx("10.0.0.0/8"), 1);
     Config cfg;
@@ -135,6 +138,8 @@ class PoptrieUpdateFeed : public testing::TestWithParam<UpdateCase> {};
 
 TEST_P(PoptrieUpdateFeed, StaysEquivalentThroughFeed)
 {
+    // writer: single-threaded test — this thread is the sole updater.
+    const psync::EbrWriterSection writer;
     const auto param = GetParam();
     workload::TableGenConfig gen;
     gen.seed = 99;
@@ -191,6 +196,8 @@ INSTANTIATE_TEST_SUITE_P(Configs, PoptrieUpdateFeed,
 
 TEST(PoptrieUpdate, WithdrawEverythingReturnsToEmpty)
 {
+    // writer: single-threaded test — this thread is the sole updater.
+    const psync::EbrWriterSection writer;
     const auto routes = corner_case_table();
     auto rib = load(routes);
     Config cfg;
@@ -217,6 +224,8 @@ TEST(PoptrieUpdate, ChurnDoesNotLeakPoolSpace)
 {
     // Announce/withdraw the same set repeatedly: pool usage must return to
     // the same footprint every cycle (buddy coalescing + EBR reclamation).
+    // writer: single-threaded test — this thread is the sole updater.
+    const psync::EbrWriterSection writer;
     rib::RadixTrie<Ipv4Addr> rib;
     Config cfg;
     cfg.direct_bits = 16;
@@ -247,6 +256,8 @@ TEST(PoptrieUpdate, FullInsertionMatchesBuild)
 {
     // §4.9's second experiment: inserting a full table route-by-route in
     // randomized order ends at the same resolution as compiling at once.
+    // writer: single-threaded test — this thread is the sole updater.
+    const psync::EbrWriterSection writer;
     workload::TableGenConfig gen;
     gen.seed = 17;
     gen.target_routes = 5'000;

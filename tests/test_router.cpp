@@ -4,6 +4,7 @@
 
 #include "helpers.hpp"
 #include "router/router.hpp"
+#include "sync/annotations.hpp"
 #include "workload/tablegen.hpp"
 
 using namespace testhelpers;
@@ -68,6 +69,8 @@ TEST(Router, RemoveRouteReleasesAndRecyclesIndices)
 
 TEST(Router, LongestPrefixSemanticsThroughChurn)
 {
+    // writer: single-threaded test — this thread is the sole updater.
+    const psync::EbrWriterSection writer;
     Router4 r;
     r.add_route(pfx("0.0.0.0/0"), adj("10.0.0.1", "up0"));
     r.add_route(pfx("10.0.0.0/8"), adj("10.0.0.2", "core0"));

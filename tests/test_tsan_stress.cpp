@@ -71,6 +71,9 @@ private:
 // at the end, with readers still running.
 TEST(TsanStress, ReadersVsUpdateFeedWithDifferentialBatches)
 {
+    // writer: this thread replays the feed alone; every reader runs in a
+    // ReaderPool jthread under its own EbrDomain::Guard.
+    const psync::EbrWriterSection writer;
     workload::TableGenConfig gen;
     gen.seed = 21;
     gen.target_routes = 10'000;
@@ -127,6 +130,8 @@ TEST(TsanStress, ReadersVsUpdateFeedWithDifferentialBatches)
 // acquire load. This is the path a missing atomic on root_ breaks first.
 TEST(TsanStress, RootRepublicationUnderReaders)
 {
+    // writer: this thread applies all updates; readers live in ReaderPool.
+    const psync::EbrWriterSection writer;
     const auto routes = corner_case_table();
     auto rib = load(routes);
     Config cfg;
@@ -166,6 +171,9 @@ TEST(TsanStress, RootRepublicationUnderReaders)
 // test makes those paths actually interleave.
 TEST(TsanStress, ReaderRegistrationRacesReclamation)
 {
+    // writer: this thread applies all updates; churner threads only ever
+    // hold read-side guards.
+    const psync::EbrWriterSection writer;
     workload::TableGenConfig gen;
     gen.seed = 33;
     gen.target_routes = 2'000;

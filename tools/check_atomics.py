@@ -18,6 +18,14 @@ the rule informally; this script enforces it mechanically:
       that ordering is sufficient. An unjustified ordering argument is where
       the next relaxation bug comes from.
 
+  rule 3 (capability tag): the justification window must also name WHICH
+      protocol the ordering serves, with a `[cap:<tag>]` tag drawn from the
+      fixed vocabulary below (the same capability names the thread-safety
+      annotations in src/sync/annotations.hpp use). "relaxed is fine" means
+      nothing without saying which handshake tolerates it; the tag makes the
+      justification greppable per protocol and lets check_concurrency.py
+      cross-reference orderings against the capability they implement.
+
 Escape hatch: a line (or the line directly above it) containing
 `check-atomics: allow` suppresses rule 1 for that line, for the rare
 legitimate raw atomic outside src/sync (none exist today). Rule 2 has no
@@ -54,6 +62,12 @@ ORDER_ARG_RE = re.compile(r"\bstd\s*::\s*memory_order_\w+")
 # Matches inside extracted comment text (the // or /* marker is stripped).
 ORDER_COMMENT_RE = re.compile(r"\border:")
 ALLOW_RE = re.compile(r"check-atomics:\s*allow")
+
+# The protocols an ordering may serve; one per capability/handshake in
+# src/sync. Adding an atomic for a NEW protocol means adding its tag here --
+# deliberately a code-reviewed step. check_concurrency.py imports this.
+CAP_TAGS = frozenset({"ebr", "fib", "stats", "stop-flag", "pause-gate", "ring"})
+CAP_TAG_RE = re.compile(r"\[cap:([a-z-]+)\]")
 
 
 def split_code_and_comment(lines):
@@ -146,6 +160,29 @@ def check_file(path, rel, order_context, violations):
                         f"{order_context} lines above)",
                     )
                 )
+            else:
+                tags = [t for c in window for t in CAP_TAG_RE.findall(c)]
+                known = ", ".join(sorted(CAP_TAGS))
+                if not tags:
+                    violations.append(
+                        (
+                            path,
+                            lineno,
+                            "'// order:' justification does not name its protocol; "
+                            f"add a [cap:<tag>] tag (one of: {known})",
+                        )
+                    )
+                for tag in tags:
+                    if tag not in CAP_TAGS:
+                        violations.append(
+                            (
+                                path,
+                                lineno,
+                                f"unknown capability tag [cap:{tag}] "
+                                f"(known: {known}; new protocols add their tag "
+                                "to CAP_TAGS in tools/check_atomics.py)",
+                            )
+                        )
 
 
 def scan(roots, order_context):
@@ -174,7 +211,7 @@ def self_test():
     clean_sync = (
         "#include <atomic>\n"
         "std::atomic<int> x{0};\n"
-        "// order: release publishes the fully built node array\n"
+        "// order: release [cap:fib] publishes the fully built node array\n"
         "void pub() { x.store(1, std::memory_order_release); }\n"
     )
     clean_outside = "int plain = 0;\nint get() { return plain; }\n"
@@ -187,6 +224,18 @@ def self_test():
     allowed_outside = (
         "// check-atomics: allow -- self-test fixture for the escape hatch\n"
         "unsigned v = __atomic_load_n(&v, 0);\n"
+    )
+    untagged_order = (
+        "#include <atomic>\n"
+        "std::atomic<int> z{0};\n"
+        "// order: release publishes the node array (which protocol, though?)\n"
+        "void pub() { z.store(1, std::memory_order_release); }\n"
+    )
+    unknown_tag = (
+        "#include <atomic>\n"
+        "std::atomic<int> w{0};\n"
+        "// order: release [cap:frobnicator] publishes the node array\n"
+        "void pub() { w.store(1, std::memory_order_release); }\n"
     )
 
     failures = []
@@ -224,12 +273,14 @@ def self_test():
     # and a missing justification: two findings on one line.
     expect("unjustified order outside sync", {"poptrie/updater.ipp": bad_order}, 3)
     expect("escape hatch honored", {"workload/datasets.cpp": allowed_outside}, 0)
+    expect("order comment without a [cap:] tag", {"sync/ebr.cpp": untagged_order}, 1)
+    expect("unknown [cap:] tag", {"sync/ebr.cpp": unknown_tag}, 1)
 
     if failures:
         for f in failures:
             print(f"self-test FAILED: {f}", file=sys.stderr)
         return 1
-    print("check_atomics: self-test passed (5 scenarios)")
+    print("check_atomics: self-test passed (7 scenarios)")
     return 0
 
 

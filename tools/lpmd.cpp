@@ -182,6 +182,9 @@ RunResult run_pipeline(dataplane::Dataplane<Engine>& dp, const Options& opt,
     RunResult r;
     r.elapsed = elapsed_s();
     dp.stop();
+    // quiescent: dp.stop() joined every worker; the churn thread (if any)
+    // only touches the router, never the per-worker latency recorders.
+    const psync::QuiescentSection quiescent;
     r.stats = dp.stats();
     r.latency = benchkit::latency_percentiles(dp.merged_latency());
     if (churn != nullptr) r.churn_applied = churn->applied();
@@ -391,7 +394,11 @@ int main(int argc, char** argv)
             dataplane::load_routes(router, routes);
             // Bulk loading grew the pools to a near-exact fit; apply the
             // headroom now, while no forwarding thread is running yet.
-            if (opt.churn_updates > 0) router.reserve_fib_headroom();
+            if (opt.churn_updates > 0) {
+                // quiescent: no forwarding or churn thread has started.
+                const psync::QuiescentSection quiescent;
+                router.reserve_fib_headroom();
+            }
             // Growths so far happened quiescently (bulk load); only growth
             // after this point runs under live readers.
             const auto growths_before = router.fib().update_counters().pool_growths;
@@ -407,13 +414,23 @@ int main(int argc, char** argv)
                                            .rate_per_sec = opt.churn_rate});
             const std::function<void()> compact_fn =
                 opt.compact_every > 0 ? std::function<void()>([&router] {
+                    // quiescent: run_pipeline only invokes this after
+                    // churn->pause() parked the writer and dp.stop() joined
+                    // the workers (the std::function boundary hides the
+                    // caller's capabilities from the analysis).
+                    const psync::QuiescentSection quiescent;
                     router.compact_fib();
                     print_frag(router.fib().stats(), "compact");
                 })
                                       : std::function<void()>{};
             auto r = run_pipeline(dp, opt, trace, churn.get(), compact_fn);
             if (churn) churn->stop_and_join();
-            router.drain();
+            {
+                // writer: workers and churn thread joined above; only this
+                // thread still touches the domain.
+                const psync::EbrWriterSection writer;
+                router.drain();
+            }
             r.pool_growths = router.fib().update_counters().pool_growths - growths_before;
             if (opt.churn_updates > 0) {
                 // Quiescent now (workers stopped, churn joined): snapshot the

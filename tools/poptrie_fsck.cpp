@@ -212,6 +212,9 @@ int fsck(const rib::RouteList<Addr>& routes, const FsckOptions& opt)
 {
     rib::RadixTrie<Addr> rib;
     rib.insert_all(routes);
+    // quiescent: fsck is single-threaded — no reader thread ever exists, so
+    // the compact()/drain() passes below are safe.
+    const psync::QuiescentSection quiescent;
     poptrie::Poptrie<Addr> pt{rib, opt.cfg};
     if (opt.verbose) {
         const auto s = pt.stats();
