@@ -36,6 +36,8 @@
 #include <type_traits>
 #include <utility>
 
+#include "sync/annotations.hpp"
+
 namespace alloc {
 
 /// How hard the arena tries to obtain huge pages (Config::hugepages).
@@ -157,8 +159,8 @@ public:
     }
     [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
 
-    [[nodiscard]] T* data() noexcept { return static_cast<T*>(block_.ptr); }
-    [[nodiscard]] const T* data() const noexcept
+    POPTRIE_HOT [[nodiscard]] T* data() noexcept { return static_cast<T*>(block_.ptr); }
+    POPTRIE_HOT [[nodiscard]] const T* data() const noexcept
     {
         return static_cast<const T*>(block_.ptr);
     }
@@ -166,8 +168,8 @@ public:
     [[nodiscard]] T* end() noexcept { return data() + size_; }
     [[nodiscard]] const T* begin() const noexcept { return data(); }
     [[nodiscard]] const T* end() const noexcept { return data() + size_; }
-    [[nodiscard]] T& operator[](std::size_t i) noexcept { return data()[i]; }
-    [[nodiscard]] const T& operator[](std::size_t i) const noexcept { return data()[i]; }
+    POPTRIE_HOT [[nodiscard]] T& operator[](std::size_t i) noexcept { return data()[i]; }
+    POPTRIE_HOT [[nodiscard]] const T& operator[](std::size_t i) const noexcept { return data()[i]; }
 
     /// Grows or shrinks to `n` elements; new elements are zero bytes (all
     /// pool element types value-initialise to exactly that). Quiescent-point

@@ -43,8 +43,8 @@ namespace dataplane {
 struct NullReader {
     class POPTRIE_SCOPED_CAPABILITY Guard {
     public:
-        explicit Guard(NullReader&) noexcept POPTRIE_ACQUIRE_SHARED(psync::cap::ebr) {}
-        ~Guard() POPTRIE_RELEASE_GENERIC(psync::cap::ebr) {}
+        POPTRIE_HOT explicit Guard(NullReader&) noexcept POPTRIE_ACQUIRE_SHARED(psync::cap::ebr) {}
+        POPTRIE_HOT ~Guard() POPTRIE_RELEASE_GENERIC(psync::cap::ebr) {}
         Guard(const Guard&) = delete;
         Guard& operator=(const Guard&) = delete;
     };
@@ -62,12 +62,12 @@ public:
 
     class POPTRIE_SCOPED_CAPABILITY Guard {
     public:
-        explicit Guard(EbrReader& r) noexcept POPTRIE_ACQUIRE_SHARED(psync::cap::ebr)
+        POPTRIE_HOT explicit Guard(EbrReader& r) noexcept POPTRIE_ACQUIRE_SHARED(psync::cap::ebr)
             : reader_(r.reader_)
         {
             reader_.enter();
         }
-        ~Guard() POPTRIE_RELEASE_GENERIC(psync::cap::ebr) { reader_.exit(); }
+        POPTRIE_HOT ~Guard() POPTRIE_RELEASE_GENERIC(psync::cap::ebr) { reader_.exit(); }
         Guard(const Guard&) = delete;
         Guard& operator=(const Guard&) = delete;
 
@@ -107,7 +107,7 @@ public:
     // REQUIRES_SHARED: this is the serving path that races a live updater;
     // the worker must hold a Guard (from make_reader()) for the whole burst.
     // Deleting the guard in the worker loop fails the POPTRIE_TSA build.
-    void lookup_batch(const key_type* keys, rib::NextHop* out,
+    POPTRIE_HOT void lookup_batch(const key_type* keys, rib::NextHop* out,
                       std::size_t n) const noexcept POPTRIE_REQUIRES_SHARED(psync::cap::ebr)
     {
         // One configuration branch per burst, then the lane-interleaved
@@ -146,7 +146,7 @@ public:
 
     [[nodiscard]] std::string_view name() const noexcept { return name_; }
 
-    void lookup_batch(const key_type* keys, rib::NextHop* out,
+    POPTRIE_HOT void lookup_batch(const key_type* keys, rib::NextHop* out,
                       std::size_t n) const noexcept
     {
         for (std::size_t i = 0; i < n; ++i) out[i] = impl_->lookup(addr_type{keys[i]});

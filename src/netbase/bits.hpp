@@ -30,6 +30,7 @@ template <TrieKey T>
 [[nodiscard]] constexpr std::uint64_t extract(T key, unsigned off, unsigned len) noexcept
 {
     const unsigned width = bit_width_of<T>;
+    // shift-ok: preconditions (len >= 1, off + len <= width) bound both counts
     return static_cast<std::uint64_t>(key >> (width - off - len)) &
            ((std::uint64_t{1} << len) - 1);
 }
@@ -41,7 +42,7 @@ template <TrieKey T>
 {
     const unsigned width = bit_width_of<T>;
     if (len == 0) return 0;
-    return static_cast<T>(~T{0}) << (width - len);
+    return static_cast<T>(~T{0}) << (width - len);  // shift-ok: 1 <= len <= width
 }
 
 /// The bit of `key` that is `pos` bits from the most significant end
@@ -49,6 +50,7 @@ template <TrieKey T>
 template <TrieKey T>
 [[nodiscard]] constexpr unsigned bit_at(T key, unsigned pos) noexcept
 {
+    // shift-ok: precondition pos < width (pos counts from the MSB).
     return static_cast<unsigned>((key >> (bit_width_of<T> - 1 - pos)) & 1);
 }
 
@@ -108,7 +110,7 @@ inline constexpr PopcountTable kPopcountTable{};
 /// Valid for v in [0, 63].
 [[nodiscard]] constexpr std::uint64_t low_mask_inclusive(unsigned v) noexcept
 {
-    return (std::uint64_t{2} << v) - 1;
+    return (std::uint64_t{2} << v) - 1;  // shift-ok: contract above, v in [0, 63]
 }
 
 /// Number of leading zero bits; countl_zero generalized to 128-bit keys.
@@ -119,7 +121,7 @@ template <TrieKey T>
     if constexpr (sizeof(T) <= 8) {
         return static_cast<unsigned>(std::countl_zero(v));
     } else {
-        const auto high = static_cast<std::uint64_t>(v >> 64);
+        const auto high = static_cast<std::uint64_t>(v >> 64);  // shift-ok: 128-bit operand
         if (high != 0) return static_cast<unsigned>(std::countl_zero(high));
         return 64 + static_cast<unsigned>(std::countl_zero(static_cast<std::uint64_t>(v)));
     }

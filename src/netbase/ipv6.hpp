@@ -33,6 +33,7 @@ public:
 
     /// Constructs from the high and low 64-bit halves (high = first 8 bytes).
     constexpr Ipv6Addr(std::uint64_t high, std::uint64_t low) noexcept
+        // shift-ok: 128-bit operand
         : bits_((value_type{high} << 64) | low) {}
 
     /// The host-order 128-bit value.
@@ -41,7 +42,7 @@ public:
     /// The most significant 64 bits.
     [[nodiscard]] constexpr std::uint64_t high() const noexcept
     {
-        return static_cast<std::uint64_t>(bits_ >> 64);
+        return static_cast<std::uint64_t>(bits_ >> 64);  // shift-ok: 128-bit operand
     }
 
     /// The least significant 64 bits.

@@ -83,6 +83,8 @@ public:
         assert(len_ < kWidth);
         const auto new_len = static_cast<unsigned>(len_ + 1);
         value_type bits = addr_.value();
+        // shift-ok: the assert above gives len_ < kWidth, so new_len <= kWidth
+        // and the count is in [0, kWidth - 1].
         if (b != 0) bits |= static_cast<value_type>(value_type{1} << (kWidth - new_len));
         return Prefix{Addr{bits}, new_len};
     }

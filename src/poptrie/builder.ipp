@@ -128,7 +128,7 @@ std::uint32_t Poptrie<Addr>::build_root(const detail::SlotCtx<Addr>& slot, unsig
 template <class Addr>
 void Poptrie<Addr>::build_from(const rib::RadixTrie<Addr>& rib)
 {
-    assert(cfg_.direct_bits == 0 || (cfg_.direct_bits >= 1 && cfg_.direct_bits < kWidth));
+    assert(valid_config(cfg_, kWidth));
     node_alloc_ = std::make_unique<alloc::BuddyAllocator>(1024);
     leaf_alloc_ = std::make_unique<alloc::BuddyAllocator>(1024);
     nodes_.assign(node_alloc_->capacity(), Node{});
@@ -140,6 +140,8 @@ void Poptrie<Addr>::build_from(const rib::RadixTrie<Addr>& rib)
     if (cfg_.direct_bits == 0) {
         root_ = build_root(root, 0);
     } else {
+        // shift-ok: valid_config() (asserted above) bounds direct_bits
+        // <= kMaxDirectBits (30) < 64.
         direct_.assign(std::size_t{1} << cfg_.direct_bits, kDirectLeafBit);
         std::size_t i = 0;
         detail::expand(root, 0, cfg_.direct_bits, [&](const detail::SlotCtx<Addr>& s) {
@@ -154,11 +156,14 @@ void Poptrie<Addr>::build_from(const rib::RadixTrie<Addr>& rib)
 template <class Addr>
 void Poptrie<Addr>::ensure_headroom()
 {
+    // shift-ok: valid_config() bounds pool_headroom_log2
+    // <= kMaxPoolHeadroomLog2 (16) < 64.
     const auto target_nodes =
         static_cast<std::uint32_t>(std::max<std::size_t>(1024, inode_count_)
                                    << cfg_.pool_headroom_log2);
     while (node_alloc_->capacity() < target_nodes) node_alloc_->grow();
     nodes_.resize(node_alloc_->capacity());
+    // shift-ok: same valid_config() bound as above.
     const auto target_leaves =
         static_cast<std::uint32_t>(std::max<std::size_t>(1024, leaf_count_)
                                    << cfg_.pool_headroom_log2);
@@ -176,6 +181,7 @@ Stats Poptrie<Addr>::stats() const noexcept
     Stats s;
     s.internal_nodes = inode_count_;
     s.leaves = leaf_count_;
+    // shift-ok: valid_config() bounds direct_bits <= kMaxDirectBits (30) < 64.
     s.direct_slots = cfg_.direct_bits == 0 ? 0 : (std::size_t{1} << cfg_.direct_bits);
     const std::size_t node_bytes = cfg_.leaf_compression ? 24 : 16;
     s.memory_bytes = inode_count_ * node_bytes + leaf_count_ * sizeof(NextHop) +

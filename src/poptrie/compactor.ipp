@@ -107,10 +107,13 @@ void Poptrie<Addr>::compact()
     // 3. Rebuild the buddy allocators as the exact image of the bump layout,
     // then apply the same headroom policy as a fresh build so subsequent
     // updates never grow under readers.
+    // shift-ok: valid_config() bounds pool_headroom_log2
+    // <= kMaxPoolHeadroomLog2 (16) < 64.
     const std::uint64_t node_target =
         std::max(out.node_cursor,
                  std::uint64_t{std::max<std::size_t>(1024, inode_count_)}
                      << cfg_.pool_headroom_log2);
+    // shift-ok: same valid_config() bound as above.
     const std::uint64_t leaf_target =
         std::max(out.leaf_cursor,
                  std::uint64_t{std::max<std::size_t>(1024, leaf_count_)}

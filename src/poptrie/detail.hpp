@@ -90,6 +90,8 @@ template <class Addr>
     SlotCtx<Addr> ctx = root_ctx(rib);
     for (unsigned d = 0; d < levels; ++d) {
         if (ctx.node == nullptr) break;
+        // shift-ok: d < levels (loop bound) and levels <= direct_bits < 64,
+        // so the count stays in [0, levels - 1].
         const unsigned b = static_cast<unsigned>((path >> (levels - 1 - d)) & 1);
         const auto* child = ctx.node->child[b].get();
         ctx.node = child;

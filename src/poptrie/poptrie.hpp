@@ -63,6 +63,8 @@ public:
 
     /// Bits consumed per trie level (k in the paper; 6 → 64-ary).
     static constexpr unsigned kStride = 6;
+    static_assert(kStride == kStrideBits,
+                  "config.hpp states the layout invariants in terms of kStrideBits");
     /// Address width in bits.
     static constexpr unsigned kWidth = Addr::kWidth;
     /// Direct-pointing slot flag: MSB set means the slot holds a FIB index
@@ -109,7 +111,7 @@ public:
 
     /// Longest-prefix-match lookup; kNoRoute on miss. Dispatches once on the
     /// configuration; benches use lookup_raw<> to pin the specialization.
-    [[nodiscard]] NextHop lookup(Addr addr) const noexcept
+    POPTRIE_HOT [[nodiscard]] NextHop lookup(Addr addr) const noexcept
     {
         return cfg_.leaf_compression ? lookup_raw<true>(addr.value())
                                      : lookup_raw<false>(addr.value());
@@ -119,7 +121,7 @@ public:
     /// leaf compression; SoftPopcount swaps the popcnt instruction for the
     /// portable fallback (§3.2), for the ablation bench.
     template <bool UseLeafvec, bool SoftPopcount = false>
-    [[nodiscard]] NextHop lookup_raw(value_type key) const noexcept
+    POPTRIE_HOT [[nodiscard]] NextHop lookup_raw(value_type key) const noexcept
     {
         // reader: scalar convenience path — the degenerate one-lookup read
         // section. Callers racing a concurrent apply() must still hold a
@@ -134,7 +136,7 @@ private:
     /// resolve many keys (lookup_batch) read cfg_.direct_bits once and pass
     /// it down, instead of re-reading the config per key.
     template <bool UseLeafvec, bool SoftPopcount = false>
-    [[nodiscard]] NextHop lookup_impl(value_type key, unsigned direct_bits) const noexcept
+    POPTRIE_HOT [[nodiscard]] NextHop lookup_impl(value_type key, unsigned direct_bits) const noexcept
         POPTRIE_REQUIRES_SHARED(psync::cap::ebr)
     {
         constexpr auto pop = [](std::uint64_t v) noexcept {
@@ -190,7 +192,7 @@ public:
     /// not claim its own read section: the caller must hold the shared EBR
     /// capability (a live guard + EbrReadSection) for the whole burst.
     template <bool UseLeafvec, unsigned Lanes = 8>
-    void lookup_batch(const value_type* keys, NextHop* out, std::size_t n) const noexcept
+    POPTRIE_HOT void lookup_batch(const value_type* keys, NextHop* out, std::size_t n) const noexcept
         POPTRIE_REQUIRES_SHARED(psync::cap::ebr)
     {
         static_assert(Lanes >= 2 && Lanes <= 32);
@@ -376,14 +378,14 @@ private:
 
     /// 6-bit chunk at bit offset `off`, zero-padded past the address width
     /// (the builder uses the same convention, so the padded slots agree).
-    [[nodiscard]] static std::uint64_t chunk(value_type key, unsigned off) noexcept
+    POPTRIE_HOT [[nodiscard]] static std::uint64_t chunk(value_type key, unsigned off) noexcept
     {
         if (off >= kWidth) return 0;
         return static_cast<std::uint64_t>(static_cast<value_type>(key << off) >>
                                           (kWidth - kStride));
     }
 
-    [[nodiscard]] std::uint32_t old_child_index(const Node& n, unsigned u) const noexcept
+    POPTRIE_HOT [[nodiscard]] std::uint32_t old_child_index(const Node& n, unsigned u) const noexcept
         POPTRIE_REQUIRES_SHARED(psync::cap::ebr)
     {
         return n.base1 +
@@ -392,7 +394,7 @@ private:
                1;
     }
 
-    [[nodiscard]] NextHop old_leaf_value(const Node& n, unsigned u) const noexcept
+    POPTRIE_HOT [[nodiscard]] NextHop old_leaf_value(const Node& n, unsigned u) const noexcept
         POPTRIE_REQUIRES_SHARED(psync::cap::ebr)
     {
         const std::uint64_t lv = cfg_.leaf_compression ? n.leafvec : ~n.vector;

@@ -68,6 +68,8 @@ typename Poptrie<Addr>::Rebuilt Poptrie<Addr>::update_node(std::uint32_t index,
     const unsigned real_bits = kWidth - level >= kStride ? kStride : kWidth - level;
     const unsigned pad_bits = kStride - real_bits;
     const unsigned span_bits = kWidth - level - real_bits;
+    // shift-ok: real_bits >= 1, so span_bits <= kWidth - level - 1 < kWidth
+    // (the operand's width); the ternary handles span_bits == 0.
     const value_type span_ones =
         span_bits == 0 ? value_type{0}
                        : static_cast<value_type>((value_type{1} << span_bits) - 1);
@@ -93,6 +95,7 @@ typename Poptrie<Addr>::Rebuilt Poptrie<Addr>::update_node(std::uint32_t index,
     };
 
     for (unsigned u = 0; u < 64; ++u) {
+        // shift-ok: pad_bits <= kStride - 1 < 64 and span_bits < kWidth (above).
         const value_type lo =
             base | (static_cast<value_type>(std::uint64_t{u} >> pad_bits) << span_bits);
         const value_type hi = lo | span_ones;
@@ -181,6 +184,8 @@ void Poptrie<Addr>::update_direct_slot(const rib::RadixTrie<Addr>& rib, std::uin
     const unsigned s = cfg_.direct_bits;
     const auto slot = detail::walk_to(rib, d, s);
     if (slot.route_depth > aff.plen) return;  // a more specific route shadows this block
+    // shift-ok: direct pointing is on here, so valid_config() gives
+    // 1 <= s < kWidth and the count is in [1, kWidth - 1].
     const value_type base = static_cast<value_type>(static_cast<value_type>(d)
                                                     << (kWidth - s));
     const std::uint32_t old = direct_[d];

@@ -66,6 +66,30 @@
 // (single-threaded test harness, sanctioned audit backdoor, ...).
 #define POPTRIE_NO_TSA POPTRIE_THREAD_ANNOTATION(no_thread_safety_analysis)
 
+// --- hot-path purity vocabulary (tools/astcheck, DESIGN.md §10) -----------
+//
+// POPTRIE_HOT marks a function as data-plane hot: tools/astcheck rule HP1
+// proves it (transitively) free of heap allocation, locks, throwing
+// constructs, syscalls, and iostream; HP2/HP3 hold its bit arithmetic and
+// pool indexing to provenance rules. The attribute spelling is
+// [[clang::annotate("poptrie::hot")]] so the clang frontend sees it in the
+// AST; GCC would warn on the unknown scoped attribute under -Werror, so the
+// macro collapses to nothing there (astcheck's builtin frontend recognizes
+// the macro token lexically either way).
+//
+// POPTRIE_HOT_EXEMPT marks a function reachable from hot code that is
+// deliberately outside the purity contract (slow-path branch, cold error
+// handler). Every use must carry an adjacent `// hot-exempt: <why>` comment
+// (head or the two lines above) — astcheck flags an unjustified exemption,
+// mirroring the R5/order-comment convention above.
+#if defined(__clang__) && (!defined(SWIG))
+#define POPTRIE_HOT [[clang::annotate("poptrie::hot")]]
+#define POPTRIE_HOT_EXEMPT [[clang::annotate("poptrie::hot_exempt")]]
+#else
+#define POPTRIE_HOT            // no-op: attribute is clang-only
+#define POPTRIE_HOT_EXEMPT     // no-op: attribute is clang-only
+#endif
+
 namespace psync {
 namespace cap {
 

@@ -99,7 +99,7 @@ public:
         ///    keeps the retired block — or the writer's fence comes first —
         ///    then our subsequent structure reads see the writer's
         ///    replacement pointers, not the retired block.
-        void enter() noexcept POPTRIE_ACQUIRE_SHARED(cap::ebr)
+        POPTRIE_HOT void enter() noexcept POPTRIE_ACQUIRE_SHARED(cap::ebr)
         {
             // order: relaxed [cap:ebr] — a stale (smaller) epoch only makes
             // the writer more conservative (see the contract above).
@@ -115,7 +115,7 @@ public:
         /// becoming quiescent: when the writer's acquire scan in
         /// min_active_epoch() observes kQuiescent, all of this section's
         /// reads happened-before the writer's subsequent free.
-        void exit() noexcept POPTRIE_RELEASE_SHARED(cap::ebr)
+        POPTRIE_HOT void exit() noexcept POPTRIE_RELEASE_SHARED(cap::ebr)
         {
             // order: release [cap:ebr] — sequences every structure read before
             // the slot turns quiescent; pairs with min_active_epoch()'s scan.
@@ -145,11 +145,11 @@ public:
     /// EBR-guarded state for exactly the guard's lifetime.
     class POPTRIE_SCOPED_CAPABILITY Guard {
     public:
-        explicit Guard(Reader& r) noexcept POPTRIE_ACQUIRE_SHARED(cap::ebr) : reader_(r)
+        POPTRIE_HOT explicit Guard(Reader& r) noexcept POPTRIE_ACQUIRE_SHARED(cap::ebr) : reader_(r)
         {
             reader_.enter();
         }
-        ~Guard() POPTRIE_RELEASE_GENERIC(cap::ebr) { reader_.exit(); }
+        POPTRIE_HOT ~Guard() POPTRIE_RELEASE_GENERIC(cap::ebr) { reader_.exit(); }
         Guard(const Guard&) = delete;
         Guard& operator=(const Guard&) = delete;
 

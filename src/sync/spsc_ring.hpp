@@ -79,7 +79,7 @@ public:
 
     /// Producer: enqueues up to `n` items; returns how many were accepted
     /// (0..n — partial pushes happen when the ring is nearly full).
-    std::size_t push(const T* items, std::size_t n) noexcept POPTRIE_REQUIRES(producer_role_)
+    POPTRIE_HOT std::size_t push(const T* items, std::size_t n) noexcept POPTRIE_REQUIRES(producer_role_)
     {
         // order: relaxed [cap:ring] — tail_ is producer-owned; only this
         // thread writes it, so its own last value needs no synchronization.
@@ -101,14 +101,14 @@ public:
     }
 
     /// Producer: single-item convenience; false when full.
-    bool try_push(const T& item) noexcept POPTRIE_REQUIRES(producer_role_)
+    POPTRIE_HOT bool try_push(const T& item) noexcept POPTRIE_REQUIRES(producer_role_)
     {
         return push(&item, 1) == 1;
     }
 
     /// Consumer: dequeues up to `max` items into `out`; returns the count
     /// (0 when empty).
-    std::size_t pop(T* out, std::size_t max) noexcept POPTRIE_REQUIRES(consumer_role_)
+    POPTRIE_HOT std::size_t pop(T* out, std::size_t max) noexcept POPTRIE_REQUIRES(consumer_role_)
     {
         // order: relaxed [cap:ring] — head_ is consumer-owned; only this
         // thread writes it.
@@ -130,7 +130,7 @@ public:
     }
 
     /// Consumer: single-item convenience; false when empty.
-    bool try_pop(T& out) noexcept POPTRIE_REQUIRES(consumer_role_)
+    POPTRIE_HOT bool try_pop(T& out) noexcept POPTRIE_REQUIRES(consumer_role_)
     {
         return pop(&out, 1) == 1;
     }

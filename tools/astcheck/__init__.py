@@ -1,0 +1,4 @@
+# astcheck -- hot-path purity and bit-arithmetic provenance analyzer.
+# Run as a directory:  python3 tools/astcheck --help
+# The package is executed via __main__.py; modules use flat imports so the
+# directory-execution form works without installing anything.

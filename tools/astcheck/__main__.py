@@ -1,0 +1,18 @@
+"""Entry point so `python3 tools/astcheck` works as a directory-run.
+
+Python puts the package directory itself on sys.path for directory
+execution; the tools/ parent is added here so the shared lintkit module
+resolves. Modules inside the package use flat imports on purpose."""
+
+import os
+import sys
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+for p in (_HERE, os.path.dirname(_HERE)):
+    if p not in sys.path:
+        sys.path.insert(0, p)
+
+import accli  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(accli.main(sys.argv[1:]))

@@ -46,9 +46,14 @@ import argparse
 import os
 import re
 import sys
-import tempfile
 
-SOURCE_SUFFIXES = (".hpp", ".cpp", ".ipp", ".h", ".cc")
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import lintkit  # noqa: E402
+
+# Re-exported for the other linters (check_concurrency.py historically
+# imported these from here; the canonical home is now tools/lintkit.py).
+SOURCE_SUFFIXES = lintkit.SOURCE_SUFFIXES
+split_code_and_comment = lintkit.split_code_and_comment
 
 RAW_ATOMIC_RE = re.compile(
     r"\bstd\s*::\s*atomic\b"
@@ -68,57 +73,6 @@ ALLOW_RE = re.compile(r"check-atomics:\s*allow")
 # deliberately a code-reviewed step. check_concurrency.py imports this.
 CAP_TAGS = frozenset({"ebr", "fib", "stats", "stop-flag", "pause-gate", "ring"})
 CAP_TAG_RE = re.compile(r"\[cap:([a-z-]+)\]")
-
-
-def split_code_and_comment(lines):
-    """Returns parallel lists (code, comment) with literals blanked from code.
-
-    A tiny state machine over //, /* */, "...", '...'; good enough for this
-    codebase (no raw strings near atomics, no trigraphs). Preprocessor lines
-    keep their text in `code` so `#include <atomic>` stays invisible (angle
-    brackets, not an identifier match) while macros using atomics still scan.
-    """
-    code_lines, comment_lines = [], []
-    in_block = False
-    for line in lines:
-        code, comment = [], []
-        i, n = 0, len(line)
-        while i < n:
-            if in_block:
-                end = line.find("*/", i)
-                if end == -1:
-                    comment.append(line[i:])
-                    i = n
-                else:
-                    comment.append(line[i:end])
-                    i = end + 2
-                    in_block = False
-                continue
-            ch = line[i]
-            if ch == "/" and i + 1 < n and line[i + 1] == "/":
-                comment.append(line[i + 2 :])
-                i = n
-            elif ch == "/" and i + 1 < n and line[i + 1] == "*":
-                in_block = True
-                i += 2
-            elif ch in "\"'":
-                quote = ch
-                code.append(" ")  # blank out the literal entirely
-                i += 1
-                while i < n:
-                    if line[i] == "\\":
-                        i += 2
-                        continue
-                    if line[i] == quote:
-                        i += 1
-                        break
-                    i += 1
-            else:
-                code.append(ch)
-                i += 1
-        code_lines.append("".join(code))
-        comment_lines.append("".join(comment))
-    return code_lines, comment_lines
 
 
 def check_file(path, rel, order_context, violations):
@@ -238,21 +192,8 @@ def self_test():
         "void pub() { w.store(1, std::memory_order_release); }\n"
     )
 
-    failures = []
-
-    def expect(name, tree, want_violation_count):
-        with tempfile.TemporaryDirectory() as tmp:
-            for rel, text in tree.items():
-                path = os.path.join(tmp, rel)
-                os.makedirs(os.path.dirname(path), exist_ok=True)
-                with open(path, "w", encoding="utf-8") as f:
-                    f.write(text)
-            got = scan([tmp], order_context=2)
-            if got is None or len(got) != want_violation_count:
-                failures.append(
-                    f"{name}: expected {want_violation_count} violation(s), got "
-                    f"{'scan error' if got is None else got}"
-                )
+    runner = lintkit.CorpusRunner(lambda tmp: scan([tmp], order_context=2))
+    expect = runner.expect
 
     expect(
         "clean tree",
@@ -276,12 +217,7 @@ def self_test():
     expect("order comment without a [cap:] tag", {"sync/ebr.cpp": untagged_order}, 1)
     expect("unknown [cap:] tag", {"sync/ebr.cpp": unknown_tag}, 1)
 
-    if failures:
-        for f in failures:
-            print(f"self-test FAILED: {f}", file=sys.stderr)
-        return 1
-    print("check_atomics: self-test passed (7 scenarios)")
-    return 0
+    return runner.finish("check_atomics")
 
 
 def main(argv):
@@ -308,16 +244,7 @@ def main(argv):
     if not args.roots:
         parser.print_usage(sys.stderr)
         return 2
-    violations = scan(args.roots, args.order_context)
-    if violations is None:
-        return 2
-    for path, lineno, msg in violations:
-        print(f"{path}:{lineno}: {msg}", file=sys.stderr)
-    if violations:
-        print(f"check_atomics: {len(violations)} violation(s)", file=sys.stderr)
-        return 1
-    print("check_atomics: clean")
-    return 0
+    return lintkit.report(scan(args.roots, args.order_context), "check_atomics")
 
 
 if __name__ == "__main__":

@@ -46,7 +46,7 @@ tree use is the LpmEngine concept's requires-expression, which spells a
 lookup_batch call that is never executed.
 
 Purely lexical: comments and string/char literals are stripped first (via
-check_atomics.split_code_and_comment), then the rules run over code text
+lintkit.split_code_and_comment), then the rules run over code text
 with a brace-depth scope tracker. No compiler or clang python bindings
 needed, so the lint runs in every environment the tests do.
 
@@ -60,10 +60,9 @@ import argparse
 import os
 import re
 import sys
-import tempfile
 
 sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
-from check_atomics import SOURCE_SUFFIXES, split_code_and_comment  # noqa: E402
+from lintkit import CorpusRunner, report, split_code_and_comment, walk_sources  # noqa: E402
 
 # Directories (relative to the source root) the tree scan covers. src must
 # exist; the others are scanned when present.
@@ -257,37 +256,16 @@ def scan(source_root):
         )
         return None
     violations = []
-    for sub in SCAN_DIRS:
-        top = os.path.join(source_root, sub)
-        if not os.path.isdir(top):
-            continue
-        for dirpath, _dirnames, filenames in os.walk(top):
-            for name in sorted(filenames):
-                if not name.endswith(SOURCE_SUFFIXES):
-                    continue
-                path = os.path.join(dirpath, name)
-                rel = os.path.relpath(path, source_root)
-                check_file(path, rel, violations)
+    for path, rel in walk_sources(source_root, SCAN_DIRS):
+        check_file(path, rel, violations)
     return violations
 
 
 def self_test():
     """Known-bad corpus: every fixture violation must be flagged (and the
     clean twins must stay clean) or the linter itself is broken."""
-    failures = []
-
-    def expect(name, tree, want):
-        with tempfile.TemporaryDirectory() as tmp:
-            for rel, text in tree.items():
-                path = os.path.join(tmp, rel)
-                os.makedirs(os.path.dirname(path), exist_ok=True)
-                with open(path, "w", encoding="utf-8") as f:
-                    f.write(text)
-            got = scan(tmp)
-            n = None if got is None else len(got)
-            if n != want:
-                detail = "scan error" if got is None else [v[2] for v in got]
-                failures.append(f"{name}: expected {want} violation(s), got {detail}")
+    runner = CorpusRunner(scan)
+    expect = runner.expect
 
     anchor = {"src/poptrie/poptrie.hpp": "struct Poptrie {};\n"}
 
@@ -382,12 +360,7 @@ def self_test():
     expect("R5 justified claim", {**anchor, "tests/test_x.cpp": good_r5}, 0)
     expect("R5 wrong marker flagged", {**anchor, "tests/test_x.cpp": wrong_marker_r5}, 1)
 
-    if failures:
-        for f in failures:
-            print(f"self-test FAILED: {f}", file=sys.stderr)
-        return 1
-    print("check_concurrency: self-test passed (16 scenarios)")
-    return 0
+    return runner.finish("check_concurrency")
 
 
 def main(argv):
@@ -409,16 +382,7 @@ def main(argv):
         return 0 if e.code == 0 else 2
     if args.self_test:
         return self_test()
-    violations = scan(args.source_root)
-    if violations is None:
-        return 2
-    for path, lineno, msg in violations:
-        print(f"{path}:{lineno}: {msg}", file=sys.stderr)
-    if violations:
-        print(f"check_concurrency: {len(violations)} violation(s)", file=sys.stderr)
-        return 1
-    print("check_concurrency: clean")
-    return 0
+    return report(scan(args.source_root), "check_concurrency")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,236 @@
+#!/usr/bin/env python3
+"""lintkit.py -- shared plumbing for the repo's source-level linters.
+
+check_atomics.py (memory-order placement), check_concurrency.py (EBR/
+quiescence protocol shapes) and astcheck/ (hot-path purity + bit-arithmetic
+provenance) all need the same four pieces:
+
+  * the source-suffix vocabulary (which files count as C++ sources);
+  * a comment/string stripper that yields parallel (code, comment) line
+    lists, so prose about atomics or shifts never trips a rule and
+    justification comments can be searched separately from code;
+  * the escape-hatch / justification-comment window convention: a marker on
+    the same line or up to N lines above the flagged construct;
+  * the known-bad-corpus self-test runner: every linter ships fixtures that
+    MUST stay flagged (and clean twins that must stay clean), or the linter
+    itself is broken. The runner writes each fixture tree to a temp dir,
+    scans it, and compares the violation count.
+
+This module owns those pieces; the linters import them. It has a self-test
+of its own (`python3 tools/lintkit.py --self-test`) covering the stripper's
+edge cases, because every downstream rule depends on it being right.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+import tempfile
+
+SOURCE_SUFFIXES = (".hpp", ".cpp", ".ipp", ".h", ".cc")
+
+
+def split_code_and_comment(lines):
+    """Returns parallel lists (code, comment) with literals blanked from code.
+
+    A tiny state machine over //, /* */, "...", '...'; good enough for this
+    codebase (no raw strings near atomics, no trigraphs). Preprocessor lines
+    keep their text in `code` so `#include <atomic>` stays invisible (angle
+    brackets, not an identifier match) while macros using atomics still scan.
+    """
+    code_lines, comment_lines = [], []
+    in_block = False
+    for line in lines:
+        code, comment = [], []
+        i, n = 0, len(line)
+        while i < n:
+            if in_block:
+                end = line.find("*/", i)
+                if end == -1:
+                    comment.append(line[i:])
+                    i = n
+                else:
+                    comment.append(line[i:end])
+                    i = end + 2
+                    in_block = False
+                continue
+            ch = line[i]
+            if ch == "/" and i + 1 < n and line[i + 1] == "/":
+                comment.append(line[i + 2 :])
+                i = n
+            elif ch == "/" and i + 1 < n and line[i + 1] == "*":
+                in_block = True
+                i += 2
+            elif ch in "\"'":
+                quote = ch
+                code.append(" ")  # blank out the literal entirely
+                i += 1
+                while i < n:
+                    if line[i] == "\\":
+                        i += 2
+                        continue
+                    if line[i] == quote:
+                        i += 1
+                        break
+                    i += 1
+            else:
+                code.append(ch)
+                i += 1
+        code_lines.append("".join(code))
+        comment_lines.append("".join(comment))
+    return code_lines, comment_lines
+
+
+def comment_window(comments, idx, lookback):
+    """The justification-comment window convention: the comment texts that
+    may carry a marker for a construct on line index `idx` — the same line
+    and up to `lookback` lines above it."""
+    return comments[max(0, idx - lookback) : idx + 1]
+
+
+def marker_in_window(comments, idx, lookback, regex):
+    """True when `regex` (a compiled pattern) matches a comment within the
+    window — the shape of every escape hatch and justification rule."""
+    return any(regex.search(c) for c in comment_window(comments, idx, lookback))
+
+
+def walk_sources(root, subdirs=None):
+    """Yields (path, rel) for every source file under `root` (or under the
+    given subdirectories of it, skipping ones that do not exist), rel being
+    the path relative to `root`. Deterministic order."""
+    tops = [root] if subdirs is None else [os.path.join(root, s) for s in subdirs]
+    for top in tops:
+        if not os.path.isdir(top):
+            continue
+        for dirpath, dirnames, filenames in os.walk(top):
+            dirnames.sort()
+            for name in sorted(filenames):
+                if not name.endswith(SOURCE_SUFFIXES):
+                    continue
+                path = os.path.join(dirpath, name)
+                yield path, os.path.relpath(path, root)
+
+
+def write_tree(root, tree):
+    """Materializes a {relpath: text} fixture tree under `root`."""
+    for rel, text in tree.items():
+        path = os.path.join(root, rel)
+        os.makedirs(os.path.dirname(path), exist_ok=True)
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(text)
+
+
+class CorpusRunner:
+    """Known-bad-corpus self-test driver shared by every linter.
+
+    `scan` is a callable taking the fixture root directory and returning a
+    list of violations (anything with a printable third element) or None on
+    scan error. Each expect() writes the fixture tree, scans it, and records
+    a failure unless exactly `want` violations came back.
+    """
+
+    def __init__(self, scan):
+        self.scan = scan
+        self.failures = []
+        self.scenarios = 0
+
+    def expect(self, name, tree, want):
+        self.scenarios += 1
+        with tempfile.TemporaryDirectory() as tmp:
+            write_tree(tmp, tree)
+            got = self.scan(tmp)
+            n = None if got is None else len(got)
+            if n != want:
+                detail = "scan error" if got is None else self._describe(got)
+                self.failures.append(f"{name}: expected {want} violation(s), got {detail}")
+
+    @staticmethod
+    def _describe(violations):
+        out = []
+        for v in violations:
+            if isinstance(v, tuple) and len(v) >= 3:
+                out.append(v[2])
+            else:
+                out.append(str(v))
+        return out
+
+    def finish(self, tool, scenarios=None):
+        """Prints the verdict and returns the process exit code."""
+        if self.failures:
+            for f in self.failures:
+                print(f"self-test FAILED: {f}", file=sys.stderr)
+            return 1
+        print(f"{tool}: self-test passed ({scenarios or self.scenarios} scenarios)")
+        return 0
+
+
+def report(violations, tool):
+    """Prints violations in file:line: message form and returns the exit
+    code: 0 clean, 1 violations, 2 scan error (violations is None)."""
+    if violations is None:
+        return 2
+    for path, lineno, msg in violations:
+        print(f"{path}:{lineno}: {msg}", file=sys.stderr)
+    if violations:
+        print(f"{tool}: {len(violations)} violation(s)", file=sys.stderr)
+        return 1
+    print(f"{tool}: clean")
+    return 0
+
+
+def _self_test():
+    failures = []
+
+    def expect(name, cond):
+        if not cond:
+            failures.append(name)
+
+    code, comment = split_code_and_comment(
+        [
+            "int a = 1; // trailing note",
+            'const char* s = "std::atomic in a string";',
+            "int b; /* open block",
+            "still comment */ int c;",
+            "char q = 'x'; int d;",
+            "// whole-line comment",
+        ]
+    )
+    expect("code keeps statements", "int a = 1;" in code[0])
+    expect("trailing comment extracted", "trailing note" in comment[0])
+    expect("string literal blanked", "atomic" not in code[1])
+    expect("block comment spans lines", "open block" in comment[2] and "still comment" in comment[3])
+    expect("code resumes after block close", "int c;" in code[3])
+    expect("char literal blanked", "x" not in code[4] and "int d;" in code[4])
+    expect("whole-line comment has no code", code[5].strip() == "")
+
+    import re
+
+    marker = re.compile(r"ok:")
+    comments = ["", "ok: above", "", "ok: same"]
+    expect("marker same line", marker_in_window(comments, 3, 0, marker))
+    expect("marker one above", marker_in_window(comments, 2, 1, marker))
+    expect("marker out of window", not marker_in_window(comments, 2, 0, marker))
+
+    with tempfile.TemporaryDirectory() as tmp:
+        write_tree(tmp, {"src/a.hpp": "int x;\n", "src/sub/b.cpp": "int y;\n", "src/notes.md": "no\n"})
+        rels = [rel for _p, rel in walk_sources(tmp)]
+        expect("walk finds sources only", rels == [os.path.join("src", "a.hpp"), os.path.join("src", "sub", "b.cpp")])
+
+    runner = CorpusRunner(lambda root: [("p", 1, "v")])
+    runner.expect("one violation", {"x.hpp": "int x;\n"}, 1)
+    runner.expect("mismatch recorded", {"x.hpp": "int x;\n"}, 0)
+    expect("corpus runner counts", runner.scenarios == 2 and len(runner.failures) == 1)
+
+    if failures:
+        for f in failures:
+            print(f"self-test FAILED: {f}", file=sys.stderr)
+        return 1
+    print("lintkit: self-test passed (12 checks)")
+    return 0
+
+
+if __name__ == "__main__":
+    if "--self-test" in sys.argv[1:]:
+        sys.exit(_self_test())
+    print(__doc__)
+    sys.exit(0)
