@@ -6,7 +6,9 @@
 #include <cstdlib>
 
 #if defined(__linux__)
+#include <fcntl.h>
 #include <sys/mman.h>
+#include <sys/stat.h>
 #include <unistd.h>
 #endif
 
@@ -59,6 +61,7 @@ const char* backing_name(Backing b) noexcept
         case Backing::kHugetlb: return "hugetlb";
         case Backing::kThpAdvised: return "thp-advised";
         case Backing::kNormalPages: return "normal-pages";
+        case Backing::kFileMapped: return "file-mapped";
         case Backing::kHeap: return "heap";
     }
     return "unknown";
@@ -131,6 +134,31 @@ Arena::Block Arena::map(std::size_t bytes)
     return b;
 }
 
+Arena::Block Arena::map_file(const std::string& path) noexcept
+{
+#if defined(__linux__)
+    const int fd = open(path.c_str(), O_RDONLY | O_CLOEXEC);
+    if (fd < 0) return {};
+    struct stat st{};
+    if (fstat(fd, &st) != 0 || st.st_size <= 0) {
+        close(fd);
+        return {};
+    }
+    const auto len = static_cast<std::size_t>(st.st_size);
+    // Read-only private mapping: never written, so the page-cache pages are
+    // shared with every other process mapping the same image.
+    void* p = mmap(nullptr, len, PROT_READ, MAP_PRIVATE, fd, 0);
+    close(fd);
+    if (p == MAP_FAILED) return {};
+    ++live_blocks_[static_cast<int>(Backing::kFileMapped)];
+    live_bytes_ += len;
+    return {p, len, Backing::kFileMapped};
+#else
+    (void)path;
+    return {};
+#endif
+}
+
 void Arena::unmap(Block& block) noexcept
 {
     if (block.ptr == nullptr) return;
@@ -157,7 +185,7 @@ MemoryReport Arena::report() const noexcept
     // FIB on". With nothing mapped yet, report what a mapping would get.
     r.backing = Backing::kHugetlb;
     bool any = false;
-    for (int b = 0; b < 4; ++b) {
+    for (int b = 0; b < kBackingCount; ++b) {
         if (live_blocks_[b] != 0) {
             r.backing = static_cast<Backing>(b);
             any = true;

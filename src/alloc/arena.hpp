@@ -50,13 +50,17 @@ enum class HugepagePolicy {
 /// What actually backs a mapped block, weakest to strongest.
 enum class Backing {
     kHeap,         ///< zeroed heap block (non-Linux or mmap failure)
+    kFileMapped,   ///< read-only mmap of an on-disk image (snapshot restore)
     kNormalPages,  ///< anonymous mmap, base page size
     kThpAdvised,   ///< anonymous mmap + MADV_HUGEPAGE accepted by the kernel
     kHugetlb,      ///< explicit MAP_HUGETLB reservation
 };
 
+/// Number of Backing enumerators (sizes the per-backing accounting).
+inline constexpr int kBackingCount = 5;
+
 /// Stable lowercase name for provenance / logs ("hugetlb", "thp-advised",
-/// "normal-pages", "heap").
+/// "normal-pages", "file-mapped", "heap").
 [[nodiscard]] const char* backing_name(Backing b) noexcept;
 
 /// Aggregate view of an arena's live mappings.
@@ -105,7 +109,17 @@ public:
     /// the next-weaker one, ending at the heap.
     [[nodiscard]] Block map(std::size_t bytes);
 
-    /// Returns a block obtained from map(). Safe on empty blocks.
+    /// Maps an existing file read-only in its entirety (Backing::kFileMapped,
+    /// for snapshot warm start — the pages stay in the page cache and are
+    /// shared across processes mapping the same image). Unlike map() this CAN
+    /// fail: a null block means the file could not be opened/mapped (or the
+    /// platform has no mmap), and the caller falls back to copy-in via map().
+    /// The hugepage policy does not apply — file mappings cannot be
+    /// hugetlb-backed.
+    [[nodiscard]] Block map_file(const std::string& path) noexcept;
+
+    /// Returns a block obtained from map() or map_file(). Safe on empty
+    /// blocks.
     void unmap(Block& block) noexcept;
 
     [[nodiscard]] MemoryReport report() const noexcept;
@@ -114,7 +128,7 @@ public:
 private:
     HugepagePolicy policy_;
     // Live block/byte counts per Backing enumerator, for report().
-    std::size_t live_blocks_[4] = {};
+    std::size_t live_blocks_[kBackingCount] = {};
     std::size_t live_bytes_ = 0;
     bool hugetlb_failed_ = false;
 };

@@ -26,6 +26,7 @@
 #include <string_view>
 
 #include "baselines/dir24.hpp"
+#include "snapshot/snapshot.hpp"
 #include "baselines/dxr.hpp"
 #include "baselines/sail.hpp"
 #include "baselines/treebitmap.hpp"
@@ -129,6 +130,37 @@ private:
     router::Router4* router_;
 };
 
+/// A restored snapshot image served read-only. No writer side exists at all
+/// — no EBR domain, no pool growth, no Router — so the NullReader's vacuous
+/// capability claim is exact, not an approximation: there is nothing an
+/// updater could ever retire. The batch path is the same lane-interleaved
+/// walk as the live trie, over the mapped (or copied-in) image.
+class SnapshotEngine {
+public:
+    using addr_type = netbase::Ipv4Addr;
+    using key_type = addr_type::value_type;
+    static constexpr bool kSupportsChurn = false;
+
+    explicit SnapshotEngine(const snapshot::SnapshotFib4& fib) noexcept : fib_(&fib) {}
+
+    [[nodiscard]] std::string_view name() const noexcept { return "snapshot"; }
+
+    // REQUIRES_SHARED keeps the worker-loop contract uniform: the burst is
+    // bracketed by a NullReader::Guard whose claim is vacuously satisfied.
+    POPTRIE_HOT void lookup_batch(const key_type* keys, rib::NextHop* out,
+                      std::size_t n) const noexcept POPTRIE_REQUIRES_SHARED(psync::cap::ebr)
+    {
+        fib_->lookup_batch(keys, out, n);
+    }
+
+    [[nodiscard]] NullReader make_reader() const noexcept { return {}; }
+
+    [[nodiscard]] const snapshot::SnapshotFib4& fib() const noexcept { return *fib_; }
+
+private:
+    const snapshot::SnapshotFib4* fib_;
+};
+
 /// Adapter for the read-only baselines: any structure with a scalar
 /// `lookup(Ipv4Addr) -> NextHop`. No churn support (the paper's baselines
 /// have no concurrent-update story; the bench holds their tables fixed).
@@ -165,6 +197,7 @@ using DxrEngine = ScalarEngine<baselines::Dxr>;
 using TreeBitmapEngine = ScalarEngine<baselines::TreeBitmap16>;
 
 static_assert(LpmEngine<PoptrieEngine>);
+static_assert(LpmEngine<SnapshotEngine>);
 static_assert(LpmEngine<SailEngine>);
 static_assert(LpmEngine<Dir24Engine>);
 static_assert(LpmEngine<DxrEngine>);

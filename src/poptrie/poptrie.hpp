@@ -50,6 +50,10 @@ namespace analysis {
 struct AuditAccess;  // analysis/audit.hpp: read-only structural auditor hook
 }
 
+namespace snapshot {
+struct SnapshotAccess;  // snapshot/snapshot.hpp: quiescent image writer hook
+}
+
 namespace poptrie {
 
 /// Longest-prefix-match FIB compiled from a rib::RadixTrie.
@@ -442,6 +446,9 @@ private:
     // allocators, and EBR domain to cross-check them against each other and
     // against the source RIB; tests also use it for fault injection.
     friend struct ::analysis::AuditAccess;
+    // The snapshot writer (snapshot/snapshot.hpp) serializes the touched
+    // extent of the pools plus the root metadata at a quiescent point.
+    friend struct ::snapshot::SnapshotAccess;
 };
 
 using Poptrie4 = Poptrie<netbase::Ipv4Addr>;

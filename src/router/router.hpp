@@ -27,6 +27,7 @@
 #include "poptrie/poptrie.hpp"
 #include "rib/radix_trie.hpp"
 #include "rib/route.hpp"
+#include "snapshot/snapshot.hpp"
 #include "sync/annotations.hpp"
 
 namespace router {
@@ -126,6 +127,18 @@ public:
     void compact_fib() POPTRIE_REQUIRES(psync::cap::quiescent, psync::cap::ebr)
     {
         fib_.compact();
+    }
+
+    /// Persists the FIB as a versioned snapshot image (DESIGN.md §11) for a
+    /// later warm start. Note the image captures the FIB's adjacency
+    /// *indices* only: the restarting process must rebuild the adjacency
+    /// table from its own control-plane state (or serve raw indices, as
+    /// lpmd's snapshot engine does). Same contract as compact_fib():
+    /// quiescent-point only, since the writer walks the raw pool extents.
+    void save_fib_snapshot(const std::string& path) const
+        POPTRIE_REQUIRES(psync::cap::quiescent, psync::cap::ebr)
+    {
+        snapshot::save(fib_, path);
     }
 
 private:

@@ -1,0 +1,495 @@
+// snapshot/snapshot.hpp — versioned on-disk FIB images and warm start.
+//
+// The compacted DFS pre-order layout (Poptrie::compact, DESIGN.md §8) is a
+// pure function of the trie, so the whole FIB — node pool, leaf pool, direct
+// array, root metadata — serializes as raw arenas and maps back byte for
+// byte. This module is that round trip:
+//
+//   * serialize()/save()  — writer: at a quiescent point, copy the touched
+//     extent of the pools (allocator high-water marks) plus a Config echo,
+//     per-section and whole-image FNV-1a checksums, and a provenance stamp
+//     (benchkit git_sha/build fingerprint) into a versioned image;
+//   * SnapshotFib<Addr>   — loader: validate the header and checksums, then
+//     either mmap the file read-only (Backing::kFileMapped — pages shared
+//     across every process mapping the same image) or copy it into arena
+//     pages honoring the hugepage policy; serve lookups over the immutable
+//     arrays with zero writer-side machinery — no EBR domain, no buddy
+//     allocators, no pool growth, no atomics;
+//   * verify_image()      — structural auditor over a loaded image (bounds,
+//     leafvec/vector consistency, reachability), backing poptrie_fsck
+//     --verify-image.
+//
+// Versioning/compat policy (DESIGN.md §11): images carry a format version
+// and an endianness tag; a loader accepts exactly its own version and host
+// byte order, and rejects anything else up front — images are a warm-start
+// and replication format, not an archival one. Any layout change bumps
+// kFormatVersion.
+//
+// Error model: ImageIoError for filesystem problems (missing file, short
+// write), ImageError for malformed or corrupted images (bad magic/version,
+// checksum mismatch, truncation, layout violations). Tools map them to the
+// repo-wide exit-code contract: 2 for input errors, 1 for violations.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "alloc/arena.hpp"
+#include "netbase/bits.hpp"
+#include "poptrie/config.hpp"
+#include "poptrie/poptrie.hpp"
+#include "sync/annotations.hpp"
+
+namespace snapshot {
+
+/// Malformed or corrupted image: bad magic/version/endianness, checksum
+/// mismatch, truncation, inconsistent section layout. Exit 1 in tools.
+class ImageError : public std::runtime_error {
+public:
+    using std::runtime_error::runtime_error;
+};
+
+/// Filesystem-level failure: file missing/unreadable, short write. Exit 2.
+class ImageIoError : public std::runtime_error {
+public:
+    using std::runtime_error::runtime_error;
+};
+
+inline constexpr char kMagic[8] = {'P', 'O', 'P', 'T', 'S', 'N', 'A', 'P'};
+inline constexpr std::uint32_t kFormatVersion = 1;
+/// Written as a native uint32: a loader on the other byte order reads
+/// 0x04030201 and rejects the image instead of mis-decoding it.
+inline constexpr std::uint32_t kEndianTag = 0x01020304u;
+/// Sections start at multiples of this (cache-line aligned; also satisfies
+/// every element type's alignment).
+inline constexpr std::size_t kSectionAlign = 64;
+
+/// FNV-1a over `n` bytes, seeded so section checksums can be chained.
+[[nodiscard]] std::uint64_t fnv1a64(const void* data, std::size_t n,
+                                    std::uint64_t seed = 0xCBF29CE484222325ull) noexcept;
+
+/// One serialized pool: where it sits in the image and its own checksum.
+struct SectionDesc {
+    std::uint64_t offset = 0;    ///< from image start, kSectionAlign-aligned
+    std::uint64_t bytes = 0;     ///< payload bytes (element count × size)
+    std::uint64_t checksum = 0;  ///< fnv1a64 of the payload
+};
+
+/// The fixed-size image header (DESIGN.md §11 has the byte-layout table).
+/// Everything a loader must distrust is here: identity (magic/version/
+/// endianness), geometry (counts, section extents, element sizes), the
+/// Config echo, provenance, and two checksums — one over the header itself
+/// (this field zeroed), one over everything after it.
+struct ImageHeader {
+    char magic[8] = {};
+    std::uint32_t format_version = 0;
+    std::uint32_t endian_tag = 0;
+    std::uint32_t header_bytes = 0;  ///< sizeof(ImageHeader) at write time
+    std::uint32_t family_width = 0;  ///< Addr::kWidth: 32 or 128
+    std::uint32_t node_bytes = 0;    ///< sizeof(Node) — layout drift guard
+    std::uint32_t leaf_bytes = 0;    ///< sizeof(NextHop)
+    // Config echo (poptrie::Config, hugepages as the policy enumerator).
+    std::uint8_t direct_bits = 0;
+    std::uint8_t leaf_compression = 0;
+    std::uint8_t route_aggregation = 0;
+    std::uint8_t pool_headroom_log2 = 0;
+    std::uint8_t hugepage_policy = 0;
+    std::uint8_t reserved8[3] = {};
+    std::uint32_t root_index = 0;  ///< published root when direct_bits == 0
+    std::uint32_t reserved32 = 0;
+    std::uint64_t node_count = 0;    ///< node slots serialized ([0, high water))
+    std::uint64_t leaf_count = 0;    ///< leaf slots serialized
+    std::uint64_t direct_count = 0;  ///< direct slots (2^direct_bits or 0)
+    std::uint64_t inode_live = 0;    ///< live internal nodes (stats echo)
+    std::uint64_t leaf_live = 0;     ///< live leaf slots (stats echo)
+    std::uint64_t total_bytes = 0;   ///< whole image, header included
+    SectionDesc nodes;
+    SectionDesc leaves;
+    SectionDesc direct;
+    char git_sha[24] = {};     ///< benchkit provenance, NUL-padded
+    char build_type[16] = {};  ///< CMake build type at write time
+    std::uint64_t payload_checksum = 0;  ///< fnv1a64 over [header_bytes, total_bytes)
+    std::uint64_t header_checksum = 0;   ///< fnv1a64 over the header, this field 0
+};
+static_assert(std::is_trivially_copyable_v<ImageHeader>);
+static_assert(sizeof(ImageHeader) == 224, "bump kFormatVersion when the header grows");
+
+/// The single point of access to Poptrie internals for the image writer
+/// (declared a friend there, exactly like analysis::AuditAccess). The pool
+/// accessors are POPTRIE_NO_TSA: by contract the writer runs at a quiescent
+/// point (serialize() REQUIRES the capability), a discipline the callers
+/// uphold rather than the type system.
+struct SnapshotAccess {
+    template <class Addr>
+    using PT = poptrie::Poptrie<Addr>;
+
+    template <class Addr>
+    [[nodiscard]] static const auto& nodes(const PT<Addr>& p) noexcept POPTRIE_NO_TSA
+    {
+        return p.nodes_;
+    }
+    template <class Addr>
+    [[nodiscard]] static const auto& leaves(const PT<Addr>& p) noexcept POPTRIE_NO_TSA
+    {
+        return p.leaves_;
+    }
+    template <class Addr>
+    [[nodiscard]] static const auto& direct(const PT<Addr>& p) noexcept POPTRIE_NO_TSA
+    {
+        return p.direct_;
+    }
+    template <class Addr>
+    [[nodiscard]] static std::uint32_t root(const PT<Addr>& p) noexcept POPTRIE_NO_TSA
+    {
+        return p.root_;
+    }
+    template <class Addr>
+    [[nodiscard]] static const alloc::BuddyAllocator& node_alloc(const PT<Addr>& p) noexcept
+        POPTRIE_NO_TSA
+    {
+        return *p.node_alloc_;
+    }
+    template <class Addr>
+    [[nodiscard]] static const alloc::BuddyAllocator& leaf_alloc(const PT<Addr>& p) noexcept
+        POPTRIE_NO_TSA
+    {
+        return *p.leaf_alloc_;
+    }
+    template <class Addr>
+    [[nodiscard]] static std::size_t inode_count(const PT<Addr>& p) noexcept
+    {
+        return p.inode_count_;
+    }
+    template <class Addr>
+    [[nodiscard]] static std::size_t leaf_count(const PT<Addr>& p) noexcept
+    {
+        return p.leaf_count_;
+    }
+};
+
+/// Serializes `fib` into an in-memory image: header + node/leaf/direct
+/// sections at aligned offsets, checksums filled in. Quiescent-point only —
+/// the pools are read in place, so no update and no pool replacement may run
+/// concurrently (the capability requirement is the §3.5 contract, not a
+/// convention).
+template <class Addr>
+[[nodiscard]] std::vector<std::uint8_t> serialize(const poptrie::Poptrie<Addr>& fib)
+    POPTRIE_REQUIRES(psync::cap::quiescent, psync::cap::ebr);
+
+/// serialize() + atomic file write (temp file in place, then rename), so a
+/// crash mid-save never leaves a half-written image under the target name.
+/// Throws ImageIoError when the filesystem refuses.
+template <class Addr>
+void save(const poptrie::Poptrie<Addr>& fib, const std::string& path)
+    POPTRIE_REQUIRES(psync::cap::quiescent, psync::cap::ebr);
+
+/// Reads and validates just the header of an image file: magic, version,
+/// endianness, header size, header checksum. Lets tools dispatch on
+/// family_width before committing to a full load. Throws ImageIoError (file
+/// unreadable) or ImageError (not a valid image).
+[[nodiscard]] ImageHeader read_header(const std::string& path);
+
+/// How SnapshotFib places the image in memory.
+struct LoadOptions {
+    enum class Placement {
+        kAuto,  ///< mmap the file; fall back to copy-in if mapping fails
+        kMap,   ///< same as kAuto (mapping is best-effort by design)
+        kCopy,  ///< always copy into arena pages (hugepage policy applies)
+    };
+    Placement placement = Placement::kAuto;
+    /// Arena policy for the copy-in path (mmap'd files cannot be hugepage-
+    /// backed, so the policy is moot under kMap placement).
+    alloc::HugepagePolicy hugepages = alloc::HugepagePolicy::kAuto;
+};
+
+/// A read-only FIB served straight out of a validated snapshot image.
+/// Immutable after construction: plain loads, no EBR, no allocators, and
+/// therefore trivially shareable across threads (and, under mmap placement,
+/// across processes). The lookup algorithm is the paper's, identical to
+/// Poptrie::lookup_impl minus the publication atomics an updater would need.
+template <class Addr>
+class SnapshotFib {
+public:
+    using addr_type = Addr;
+    using value_type = typename Addr::value_type;
+    using NextHop = rib::NextHop;
+    using Node = typename poptrie::Poptrie<Addr>::Node;
+
+    static constexpr unsigned kStride = poptrie::Poptrie<Addr>::kStride;
+    static constexpr unsigned kWidth = Addr::kWidth;
+    static constexpr std::uint32_t kDirectLeafBit = poptrie::Poptrie<Addr>::kDirectLeafBit;
+
+    /// Loads and validates an image file. ImageIoError when the file cannot
+    /// be read at all; ImageError when it is not a valid, intact image for
+    /// this address family.
+    [[nodiscard]] static SnapshotFib load_file(const std::string& path,
+                                               const LoadOptions& opt = {});
+
+    /// Loads from an in-memory image (always copy-in). Same validation.
+    [[nodiscard]] static SnapshotFib load_buffer(const std::uint8_t* data, std::size_t size,
+                                                 const LoadOptions& opt = {});
+
+    SnapshotFib(SnapshotFib&& other) noexcept
+        : hdr_(other.hdr_),
+          arena_(std::move(other.arena_)),
+          blocks_(std::move(other.blocks_)),
+          nodes_(other.nodes_),
+          leaves_(other.leaves_),
+          direct_(other.direct_),
+          root_(other.root_),
+          direct_bits_(other.direct_bits_),
+          leaf_compression_(other.leaf_compression_)
+    {
+        other.nodes_ = nullptr;
+        other.leaves_ = nullptr;
+        other.direct_ = nullptr;
+    }
+    SnapshotFib& operator=(SnapshotFib&& other) noexcept
+    {
+        if (this != &other) {
+            release();
+            hdr_ = other.hdr_;
+            arena_ = std::move(other.arena_);
+            blocks_ = std::move(other.blocks_);
+            nodes_ = other.nodes_;
+            leaves_ = other.leaves_;
+            direct_ = other.direct_;
+            root_ = other.root_;
+            direct_bits_ = other.direct_bits_;
+            leaf_compression_ = other.leaf_compression_;
+            other.nodes_ = nullptr;
+            other.leaves_ = nullptr;
+            other.direct_ = nullptr;
+        }
+        return *this;
+    }
+    SnapshotFib(const SnapshotFib&) = delete;
+    SnapshotFib& operator=(const SnapshotFib&) = delete;
+    ~SnapshotFib() { release(); }
+
+    /// Longest-prefix-match lookup; kNoRoute on miss. One configuration
+    /// branch, then the same walk as the live trie.
+    POPTRIE_HOT [[nodiscard]] NextHop lookup(Addr addr) const noexcept
+    {
+        return leaf_compression_ ? lookup_impl<true>(addr.value(), direct_bits_)
+                                 : lookup_impl<false>(addr.value(), direct_bits_);
+    }
+
+    /// Batched lookup with the same lane-interleaved prefetch staging as
+    /// Poptrie::lookup_batch. No capability requirement: the arrays are
+    /// immutable, so there is nothing a reader could race.
+    POPTRIE_HOT void lookup_batch(const value_type* keys, NextHop* out,
+                                  std::size_t n) const noexcept
+    {
+        if (leaf_compression_)
+            lookup_batch_impl<true>(keys, out, n);
+        else
+            lookup_batch_impl<false>(keys, out, n);
+    }
+
+    [[nodiscard]] const ImageHeader& header() const noexcept { return hdr_; }
+    /// The Config the FIB was built with, reconstructed from the echo.
+    [[nodiscard]] poptrie::Config config() const noexcept;
+    /// Backing of the image pages: kFileMapped under mmap placement, the
+    /// arena's usual report (hugetlb/thp/normal/heap) under copy-in.
+    [[nodiscard]] alloc::MemoryReport memory_report() const noexcept
+    {
+        return arena_->report();
+    }
+    [[nodiscard]] std::uint64_t node_count() const noexcept { return hdr_.node_count; }
+    [[nodiscard]] std::uint64_t leaf_count() const noexcept { return hdr_.leaf_count; }
+    [[nodiscard]] std::uint64_t direct_slots() const noexcept { return hdr_.direct_count; }
+    [[nodiscard]] std::uint64_t image_bytes() const noexcept { return hdr_.total_bytes; }
+
+    // Raw section access for the structural verifier (verify_image).
+    [[nodiscard]] const Node* nodes_data() const noexcept { return nodes_; }
+    [[nodiscard]] const NextHop* leaves_data() const noexcept { return leaves_; }
+    [[nodiscard]] const std::uint32_t* direct_data() const noexcept { return direct_; }
+
+private:
+    SnapshotFib() = default;
+
+    /// Validates `base[0, size)` as an image for this family and points the
+    /// section pointers into it. Throws ImageError; never takes ownership.
+    void attach(const std::uint8_t* base, std::size_t size);
+    void release() noexcept
+    {
+        if (arena_ != nullptr)
+            for (auto& b : blocks_) arena_->unmap(b);
+        blocks_.clear();
+        nodes_ = nullptr;
+        leaves_ = nullptr;
+        direct_ = nullptr;
+    }
+
+    /// 6-bit chunk at bit offset `off` (same convention as the live trie).
+    POPTRIE_HOT [[nodiscard]] static std::uint64_t chunk(value_type key, unsigned off) noexcept
+    {
+        if (off >= kWidth) return 0;
+        return static_cast<std::uint64_t>(static_cast<value_type>(key << off) >>
+                                          (kWidth - kStride));
+    }
+
+    POPTRIE_HOT [[nodiscard]] std::uint32_t direct_index(std::size_t slot) const noexcept
+    {
+        // index-ok: callers extract() `slot` from the key (direct_bits wide);
+        // the loader validated the section holds exactly 2^direct_bits slots.
+        return direct_[slot];
+    }
+
+    template <bool UseLeafvec>
+    POPTRIE_HOT [[nodiscard]] NextHop lookup_impl(value_type key,
+                                                  unsigned direct_bits) const noexcept
+    {
+        std::uint32_t index = 0;
+        unsigned offset = 0;
+        if (direct_bits != 0) {
+            const auto slot =
+                static_cast<std::size_t>(netbase::extract(key, 0, direct_bits));
+            const std::uint32_t dindex = direct_index(slot);
+            if (dindex & kDirectLeafBit)
+                return static_cast<NextHop>(dindex & ~kDirectLeafBit);
+            index = dindex;
+            offset = direct_bits;
+        } else {
+            index = root_;
+        }
+        std::uint64_t v = chunk(key, offset);
+        std::uint64_t vector = nodes_[index].vector;
+        while (vector & (std::uint64_t{1} << v)) {
+            const std::uint32_t base = nodes_[index].base1;
+            const auto bc = static_cast<std::uint32_t>(netbase::popcount64(
+                vector & netbase::low_mask_inclusive(static_cast<unsigned>(v))));
+            index = base + bc - 1;
+            vector = nodes_[index].vector;
+            offset += kStride;
+            v = chunk(key, offset);
+        }
+        const std::uint32_t base = nodes_[index].base0;
+        const std::uint64_t lv = UseLeafvec ? nodes_[index].leafvec : ~vector;
+        const auto bc = static_cast<std::uint32_t>(
+            netbase::popcount64(lv & netbase::low_mask_inclusive(static_cast<unsigned>(v))));
+        return leaves_[base + bc - 1];
+    }
+
+    template <bool UseLeafvec, unsigned Lanes = 8>
+    POPTRIE_HOT void lookup_batch_impl(const value_type* keys, NextHop* out,
+                                       std::size_t n) const noexcept
+    {
+        static_assert(Lanes >= 2 && Lanes <= 32);
+        const unsigned direct_bits = direct_bits_;
+        std::size_t i = 0;
+        for (; i + Lanes <= n; i += Lanes) {
+            std::uint32_t index[Lanes];
+            unsigned offset[Lanes];
+            bool done[Lanes] = {};
+            unsigned remaining = Lanes;
+            for (unsigned l = 0; l < Lanes; ++l) {
+                if (direct_bits != 0) {
+                    const auto slot = static_cast<std::size_t>(
+                        netbase::extract(keys[i + l], 0, direct_bits));
+                    const std::uint32_t dindex = direct_index(slot);
+                    if (dindex & kDirectLeafBit) {
+                        out[i + l] = static_cast<NextHop>(dindex & ~kDirectLeafBit);
+                        done[l] = true;
+                        --remaining;
+                        continue;
+                    }
+                    index[l] = dindex;
+                    offset[l] = direct_bits;
+                } else {
+                    index[l] = root_;
+                    offset[l] = 0;
+                }
+                __builtin_prefetch(&nodes_[index[l]]);
+            }
+            while (remaining != 0) {
+                for (unsigned l = 0; l < Lanes; ++l) {
+                    if (done[l]) continue;
+                    const value_type key = keys[i + l];
+                    const std::uint64_t v = chunk(key, offset[l]);
+                    const std::uint64_t vector = nodes_[index[l]].vector;
+                    if (vector & (std::uint64_t{1} << v)) {
+                        const std::uint32_t base = nodes_[index[l]].base1;
+                        const auto bc = static_cast<std::uint32_t>(netbase::popcount64(
+                            vector &
+                            netbase::low_mask_inclusive(static_cast<unsigned>(v))));
+                        index[l] = base + bc - 1;
+                        offset[l] += kStride;
+                        __builtin_prefetch(&nodes_[index[l]]);
+                        continue;
+                    }
+                    const std::uint32_t base = nodes_[index[l]].base0;
+                    const std::uint64_t lv =
+                        UseLeafvec ? nodes_[index[l]].leafvec : ~vector;
+                    const auto bc = static_cast<std::uint32_t>(netbase::popcount64(
+                        lv & netbase::low_mask_inclusive(static_cast<unsigned>(v))));
+                    out[i + l] = leaves_[base + bc - 1];
+                    done[l] = true;
+                    --remaining;
+                }
+            }
+        }
+        // Tail: same hoisted dispatch as the lane loop. Pointer iteration
+        // rather than out[i]: without the live trie's atomic loads GCC fully
+        // unrolls this under -O3 and -Waggressive-loop-optimizations then
+        // flags the (unreachable) index overflow.
+        const value_type* k = keys + i;
+        NextHop* o = out + i;
+        for (std::size_t r = n - i; r != 0; --r)
+            *o++ = lookup_impl<UseLeafvec>(*k++, direct_bits);
+    }
+
+    ImageHeader hdr_{};
+    // The arena accounts for the image pages (one file mapping or one
+    // copied block) so memory_report() distinguishes built vs restored FIBs.
+    std::unique_ptr<alloc::Arena> arena_;
+    std::vector<alloc::Arena::Block> blocks_;
+    const Node* nodes_ = nullptr;
+    const NextHop* leaves_ = nullptr;
+    const std::uint32_t* direct_ = nullptr;
+    std::uint32_t root_ = 0;
+    unsigned direct_bits_ = 0;
+    bool leaf_compression_ = true;
+};
+
+using SnapshotFib4 = SnapshotFib<netbase::Ipv4Addr>;
+using SnapshotFib6 = SnapshotFib<netbase::Ipv6Addr>;
+
+extern template class SnapshotFib<netbase::Ipv4Addr>;
+extern template class SnapshotFib<netbase::Ipv6Addr>;
+
+/// The structural verifier's outcome (poptrie_fsck --verify-image).
+struct VerifyReport {
+    std::vector<std::string> violations;
+    std::size_t nodes_checked = 0;
+    std::size_t leaves_checked = 0;
+    std::size_t direct_slots_checked = 0;
+    [[nodiscard]] bool ok() const noexcept { return violations.empty(); }
+    [[nodiscard]] std::string summary() const;
+};
+
+/// Walks the reachable structure of a loaded image and checks the paper's
+/// invariants image-side: every direct slot either a tagged leaf with a
+/// representable next hop or an in-bounds node index; every child/leaf run
+/// inside its section; leafvec consistent with vector under leaf
+/// compression; no node reachable twice; depth bounded by the address
+/// width. (Header and checksum validation already happened at load.)
+template <class Addr>
+[[nodiscard]] VerifyReport verify_image(const SnapshotFib<Addr>& fib);
+
+extern template VerifyReport verify_image(const SnapshotFib<netbase::Ipv4Addr>&);
+extern template VerifyReport verify_image(const SnapshotFib<netbase::Ipv6Addr>&);
+
+extern template std::vector<std::uint8_t> serialize(
+    const poptrie::Poptrie<netbase::Ipv4Addr>&);
+extern template std::vector<std::uint8_t> serialize(
+    const poptrie::Poptrie<netbase::Ipv6Addr>&);
+extern template void save(const poptrie::Poptrie<netbase::Ipv4Addr>&, const std::string&);
+extern template void save(const poptrie::Poptrie<netbase::Ipv6Addr>&, const std::string&);
+
+}  // namespace snapshot

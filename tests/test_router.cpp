@@ -133,3 +133,28 @@ TEST(Router, Ipv6Family)
     EXPECT_EQ(a->interface, "eth0");
     EXPECT_EQ(r.resolve(*netbase::parse_ipv6("2001:db9::42")), nullptr);
 }
+
+TEST(Router, SaveFibSnapshotRoundTripsIndices)
+{
+    Router4 r;
+    for (unsigned i = 0; i < 64; ++i) {
+        const Prefix4 p{Ipv4Addr{(10u << 24) | (i << 16)}, 16};
+        r.add_route(p, adj("192.168.0.1", "if" + std::to_string(i % 7)));
+    }
+
+    // quiescent: single-threaded test — no forwarding thread exists.
+    const psync::QuiescentSection quiescent;
+    const std::string path = ::testing::TempDir() + "router_fib.snap";
+    r.save_fib_snapshot(path);
+
+    const auto fib = snapshot::SnapshotFib4::load_file(path);
+    for (unsigned i = 0; i < 64; ++i) {
+        const Ipv4Addr a{(10u << 24) | (i << 16) | 0x1234u};
+        EXPECT_EQ(fib.lookup(a), r.lookup_index(a));
+        // The image stores FIB indices; the live router maps them on to the
+        // same adjacency the restored index denotes.
+        ASSERT_NE(r.resolve(a), nullptr);
+        EXPECT_EQ(r.resolve(a)->interface, "if" + std::to_string(i % 7));
+    }
+    std::remove(path.c_str());
+}

@@ -31,6 +31,7 @@
 #include "poptrie/config.hpp"
 #include "dataplane/engines.hpp"
 #include "rib/aggregate.hpp"
+#include "snapshot/snapshot.hpp"
 #include "workload/tablegen.hpp"
 #include "workload/tableio.hpp"
 #include "workload/trafficgen.hpp"
@@ -40,6 +41,12 @@ namespace {
 
 volatile std::sig_atomic_t g_interrupted = 0;
 extern "C" void handle_signal(int) { g_interrupted = 1; }
+
+// SIGUSR1 requests a mid-run snapshot save (--snapshot-save): the producer
+// loop notices the flag and runs the save through the same pause handshake
+// compaction uses, so the image is written at a true quiescent point.
+volatile std::sig_atomic_t g_snapshot_requested = 0;
+extern "C" void handle_sigusr1(int) { g_snapshot_requested = 1; }
 
 struct Options {
     std::string engine = "poptrie";
@@ -61,6 +68,9 @@ struct Options {
     std::string json_out;
     bool check = false;
     std::uint64_t seed = 1;
+    std::string snapshot_save;       // write a FIB image here (poptrie only)
+    std::string snapshot_load;       // serve this FIB image (engine snapshot)
+    std::string snapshot_placement = "auto";  // auto | map | copy
 };
 
 struct RunResult {
@@ -70,8 +80,10 @@ struct RunResult {
     std::uint64_t churn_applied = 0;
     std::uint64_t pool_growths = 0;
     std::uint64_t compactions = 0;
+    std::uint64_t snapshots_saved = 0;
     bool has_fib_stats = false;
     poptrie::Stats fib_stats{};  // post-run fragmentation view (poptrie only)
+    std::string fib_backing;     // arena backing of the served FIB, if any
 };
 
 /// One-line fragmentation view of both FIB pools, printed at each quiescent
@@ -94,7 +106,8 @@ template <class Engine>
 RunResult run_pipeline(dataplane::Dataplane<Engine>& dp, const Options& opt,
                        const std::vector<std::uint32_t>& trace,
                        dataplane::ChurnRunner* churn,
-                       const std::function<void()>& compact_fib = {})
+                       const std::function<void()>& compact_fib = {},
+                       const std::function<void()>& save_snapshot = {})
 {
     using clock = std::chrono::steady_clock;
     dp.start();
@@ -112,6 +125,7 @@ RunResult run_pipeline(dataplane::Dataplane<Engine>& dp, const Options& opt,
     std::uint64_t next_compact =
         opt.compact_every > 0 ? opt.compact_every : ~std::uint64_t{0};
     std::uint64_t compactions = 0;
+    std::uint64_t snapshots_saved = 0;
 
     const auto elapsed_s = [&] {
         return std::chrono::duration<double>(clock::now() - t0).count();
@@ -138,6 +152,25 @@ RunResult run_pipeline(dataplane::Dataplane<Engine>& dp, const Options& opt,
             // Pace on offered load, not accepted: a saturated ring must not
             // make the producer spin faster (drops then reflect overload).
             produced += opt.burst;
+        }
+
+        // SIGUSR1-triggered snapshot: same pause handshake as compaction —
+        // the churn writer (if any) parks, the workers join, the image is
+        // written at a genuine quiescent point, then everything resumes.
+        if (save_snapshot && g_snapshot_requested != 0) {
+            g_snapshot_requested = 0;
+            const auto pause_start = clock::now();
+            if (churn != nullptr) churn->pause();
+            dp.stop();
+            save_snapshot();
+            dp.start();
+            if (churn != nullptr) churn->resume();
+            ++snapshots_saved;
+            if (opt.rate_mpps > 0) {
+                const double paused =
+                    std::chrono::duration<double>(clock::now() - pause_start).count();
+                produced += static_cast<std::uint64_t>(paused * opt.rate_mpps * 1e6);
+            }
         }
 
         if (compact_fib && churn != nullptr && churn->applied() >= next_compact) {
@@ -189,6 +222,7 @@ RunResult run_pipeline(dataplane::Dataplane<Engine>& dp, const Options& opt,
     r.latency = benchkit::latency_percentiles(dp.merged_latency());
     if (churn != nullptr) r.churn_applied = churn->applied();
     r.compactions = compactions;
+    r.snapshots_saved = snapshots_saved;
     return r;
 }
 
@@ -211,6 +245,12 @@ int finish(const Options& opt, const RunResult& r, std::string_view engine_name)
     if (opt.compact_every > 0)
         std::printf("compact    %llu passes (every %zu updates)\n",
                     static_cast<unsigned long long>(r.compactions), opt.compact_every);
+    if (!opt.snapshot_save.empty())
+        std::printf("snapshot   %llu mid-run save(s) + final image %s\n",
+                    static_cast<unsigned long long>(r.snapshots_saved),
+                    opt.snapshot_save.c_str());
+    if (!r.fib_backing.empty())
+        std::printf("backing    %s\n", r.fib_backing.c_str());
     if (r.has_fib_stats) print_frag(r.fib_stats, "summary");
 
     if (opt.json || !opt.json_out.empty()) {
@@ -230,6 +270,13 @@ int finish(const Options& opt, const RunResult& r, std::string_view engine_name)
         rec.field("lat_p999_ns", r.latency.p999);
         rec.field("churn_applied", r.churn_applied);
         rec.field("compactions", r.compactions);
+        // Benchkit provenance must distinguish a FIB built in-process from
+        // one restored off disk, and say which pages serve it.
+        rec.field("fib_source", engine_name == "snapshot"
+                                    ? std::string_view{"snapshot"}
+                                    : std::string_view{"built"});
+        if (!r.fib_backing.empty()) rec.field("fib_backing", r.fib_backing);
+        rec.field("snapshots_saved", r.snapshots_saved);
         if (r.has_fib_stats) {
             rec.field("node_free_blocks", std::uint64_t{r.fib_stats.node_free_blocks});
             rec.field("leaf_free_blocks", std::uint64_t{r.fib_stats.leaf_free_blocks});
@@ -281,7 +328,8 @@ int main(int argc, char** argv)
     const benchkit::Args args(argc, argv);
     if (args.handle_help(
             "lpmd",
-            "  --engine=E          poptrie | sail | dir24 | treebitmap (default poptrie)\n"
+            "  --engine=E          poptrie | snapshot | sail | dir24 | treebitmap\n"
+            "                      (default poptrie)\n"
             "  --workers=N         forwarding threads (default 4)\n"
             "  --routes=N          synthetic table size (default 50000)\n"
             "  --file=PATH         load IPv4 table from file instead of generating\n"
@@ -296,6 +344,11 @@ int main(int argc, char** argv)
             "  --churn-rate=R      updates/s pacing, 0 = unpaced (default 0)\n"
             "  --compact-every=N   compact the FIB every N churn updates, pausing\n"
             "                      the pipeline at a quiescent point (default 0)\n"
+            "  --snapshot-save=F   write a FIB image to F at shutdown, and at any\n"
+            "                      quiescent point on SIGUSR1 (--engine poptrie)\n"
+            "  --snapshot-load=F   serve the FIB image F (--engine snapshot)\n"
+            "  --snapshot-placement=P  auto | map | copy (default auto): mmap the\n"
+            "                      image or copy it into arena pages\n"
             "  --stats-interval=S  seconds between stats lines (default 1)\n"
             "  --json              print a machine-readable summary record\n"
             "  --json-out=FILE     write the summary record to FILE (benchctl)\n"
@@ -322,6 +375,9 @@ int main(int argc, char** argv)
     opt.json_out = args.json_out();
     opt.check = args.has("check");
     opt.seed = args.seed(opt.seed);
+    opt.snapshot_save = args.get("snapshot-save", "");
+    opt.snapshot_load = args.get("snapshot-load", "");
+    opt.snapshot_placement = args.get("snapshot-placement", opt.snapshot_placement);
 
     if (opt.workers == 0 || opt.burst == 0 || opt.stats_interval <= 0) {
         std::fprintf(stderr,
@@ -332,8 +388,9 @@ int main(int argc, char** argv)
         std::fprintf(stderr, "lpmd: unknown --pattern '%s'\n", opt.pattern.c_str());
         return 2;
     }
-    const bool engine_known = opt.engine == "poptrie" || opt.engine == "sail" ||
-                              opt.engine == "dir24" || opt.engine == "treebitmap";
+    const bool engine_known = opt.engine == "poptrie" || opt.engine == "snapshot" ||
+                              opt.engine == "sail" || opt.engine == "dir24" ||
+                              opt.engine == "treebitmap";
     if (!engine_known) {
         std::fprintf(stderr, "lpmd: unknown --engine '%s'\n", opt.engine.c_str());
         return 2;
@@ -346,8 +403,67 @@ int main(int argc, char** argv)
         std::fprintf(stderr, "lpmd: --compact-every requires --churn-updates\n");
         return 2;
     }
+    if (!opt.snapshot_save.empty() && opt.engine != "poptrie") {
+        std::fprintf(stderr, "lpmd: --snapshot-save requires --engine poptrie\n");
+        return 2;
+    }
+    if (opt.engine == "snapshot" && opt.snapshot_load.empty()) {
+        std::fprintf(stderr, "lpmd: --engine snapshot requires --snapshot-load\n");
+        return 2;
+    }
+    if (!opt.snapshot_load.empty() && opt.engine != "snapshot") {
+        std::fprintf(stderr, "lpmd: --snapshot-load requires --engine snapshot\n");
+        return 2;
+    }
+    if (opt.engine == "snapshot" && opt.pattern == "trace") {
+        // The §4.7-style trace is materialized from the routing table; a
+        // restored image carries no RIB to derive destinations from.
+        std::fprintf(stderr, "lpmd: --engine snapshot supports --pattern random only\n");
+        return 2;
+    }
+    snapshot::LoadOptions load_opt;
+    if (opt.snapshot_placement == "map") {
+        load_opt.placement = snapshot::LoadOptions::Placement::kMap;
+    } else if (opt.snapshot_placement == "copy") {
+        load_opt.placement = snapshot::LoadOptions::Placement::kCopy;
+    } else if (opt.snapshot_placement != "auto") {
+        std::fprintf(stderr, "lpmd: unknown --snapshot-placement '%s'\n",
+                     opt.snapshot_placement.c_str());
+        return 2;
+    }
 
     try {
+        // --- warm start: serve a restored image, no table build at all ---
+        if (opt.engine == "snapshot") {
+            snapshot::SnapshotFib4 fib =
+                snapshot::SnapshotFib4::load_file(opt.snapshot_load, load_opt);
+            const auto mem = fib.memory_report();
+            std::printf("lpmd: snapshot %s: %llu nodes, %llu leaves, "
+                        "direct-bits=%u, %llu bytes, backing=%s\n",
+                        opt.snapshot_load.c_str(),
+                        static_cast<unsigned long long>(fib.node_count()),
+                        static_cast<unsigned long long>(fib.leaf_count()),
+                        fib.header().direct_bits,
+                        static_cast<unsigned long long>(fib.image_bytes()),
+                        alloc::backing_name(mem.backing));
+            benchkit::note_arena_backing(alloc::backing_name(mem.backing));
+
+            std::signal(SIGINT, handle_signal);
+            std::signal(SIGTERM, handle_signal);
+
+            dataplane::DataplaneConfig dcfg;
+            dcfg.workers = opt.workers;
+            dcfg.ring_capacity = opt.ring_capacity;
+            dcfg.burst = opt.burst;
+            dcfg.pin_cpus = opt.pin;
+
+            dataplane::Dataplane<dataplane::SnapshotEngine> dp{
+                dataplane::SnapshotEngine{fib}, dcfg};
+            auto r = run_pipeline(dp, opt, {}, nullptr);
+            r.fib_backing = alloc::backing_name(mem.backing);
+            return finish(opt, r, "snapshot");
+        }
+
         // --- table ---
         rib::RouteList<netbase::Ipv4Addr> routes;
         if (!opt.file.empty()) {
@@ -423,7 +539,23 @@ int main(int argc, char** argv)
                     print_frag(router.fib().stats(), "compact");
                 })
                                       : std::function<void()>{};
-            auto r = run_pipeline(dp, opt, trace, churn.get(), compact_fn);
+            const std::function<void()> save_fn =
+                !opt.snapshot_save.empty() ? std::function<void()>([&router, &opt] {
+                    // quiescent: run_pipeline only invokes this after the
+                    // churn writer is parked and the workers are joined (the
+                    // std::function boundary hides the caller's
+                    // capabilities from the analysis). Compact first so the
+                    // image is the canonical minimal layout.
+                    const psync::QuiescentSection quiescent;
+                    router.compact_fib();
+                    router.save_fib_snapshot(opt.snapshot_save);
+                    std::printf("[snapshot] image written to %s\n",
+                                opt.snapshot_save.c_str());
+                    std::fflush(stdout);
+                })
+                                           : std::function<void()>{};
+            if (!opt.snapshot_save.empty()) std::signal(SIGUSR1, handle_sigusr1);
+            auto r = run_pipeline(dp, opt, trace, churn.get(), compact_fn, save_fn);
             if (churn) churn->stop_and_join();
             {
                 // writer: workers and churn thread joined above; only this
@@ -432,6 +564,16 @@ int main(int argc, char** argv)
                 router.drain();
             }
             r.pool_growths = router.fib().update_counters().pool_growths - growths_before;
+            if (!opt.snapshot_save.empty()) {
+                // Final image: everything is joined and drained, so this is
+                // the run's last quiescent point.
+                // quiescent: workers stopped, churn joined, domain drained.
+                const psync::QuiescentSection quiescent;
+                router.compact_fib();
+                router.save_fib_snapshot(opt.snapshot_save);
+                std::printf("[snapshot] image written to %s\n", opt.snapshot_save.c_str());
+            }
+            r.fib_backing = alloc::backing_name(router.fib().memory_report().backing);
             if (opt.churn_updates > 0) {
                 // Quiescent now (workers stopped, churn joined): snapshot the
                 // fragmentation counters for the summary / JSON record.

@@ -232,12 +232,57 @@ def seeds_aggregate():
     return out
 
 
+def seeds_snapshot_roundtrip():
+    out = {}
+
+    # Input layout (fuzz_snapshot_roundtrip.cpp): config byte, sel byte
+    # (0x40 = compact before serialize, 0x80 = IPv6), u32 flip selector
+    # (low bits pick the corrupted byte, top 3 bits the flipped bit), then
+    # the common op stream and trailing probe keys.
+
+    # Compacted v4 churn: announce a /24 sweep, withdraw half, compact,
+    # snapshot. Flip selector 0 lands the corruption in the image header.
+    churn = config(16) + bytes([0x40]) + u32(0)
+    for i in range(24):
+        churn += fresh4(v4(10, 42, i, 0), 24, 1 + i)
+    for i in range(12):
+        churn += withdraw4(v4(10, 42, 2 * i, 0), 24)
+    out["compacted_churn_v4"] = churn
+
+    # Uncompacted basic mode (no leafvec, no direct pointing): the snapshot
+    # must capture a churned, never-compacted pool extent faithfully. The
+    # flip selector points well past the header, into the node section.
+    basic = config(0, leaf_compression=False) + bytes([0x00]) + u32(0x00000400)
+    basic += fresh4(v4(192, 168, 0, 0), 16, 1)
+    for i in range(16):
+        basic += child(0, i & 1, 2 + i)
+    out["uncompacted_basic_v4"] = basic
+
+    # IPv6, compacted, direct_bits=18: deep child walk plus a host route;
+    # high flip selector exercises bit 7 at a large payload offset.
+    v6 = config(18) + bytes([0xC0]) + u32(0xE0010000)
+    v6 += fresh6(0x20010DB8 << 96, 32, 1)
+    for i in range(20):
+        v6 += child(0, i & 1, 2 + i)
+    v6 += fresh6((0xFE80 << 112) | 0x1, 128, 5)
+    out["ipv6_compacted_walk"] = v6
+
+    # Default route only: smallest meaningful image (one leaf run behind a
+    # full direct table); corruption lands in the direct section.
+    out["default_route_only"] = (
+        config(16) + bytes([0x40]) + u32(0x00002000) + fresh4(0, 0, 10)
+    )
+
+    return out
+
+
 HARNESSES = {
     "fuzz_differential": seeds_differential,
     "fuzz_update_rebuild": seeds_update_rebuild,
     "fuzz_parser": seeds_parser,
     "fuzz_buddy": seeds_buddy,
     "fuzz_aggregate": seeds_aggregate,
+    "fuzz_snapshot_roundtrip": seeds_snapshot_roundtrip,
 }
 
 

@@ -21,6 +21,7 @@
 #include "netbase/bits.hpp"
 #include "poptrie/poptrie.hpp"
 #include "rib/radix_trie.hpp"
+#include "snapshot/snapshot.hpp"
 #include "workload/tablegen.hpp"
 #include "workload/tableio.hpp"
 #include "workload/updatefeed.hpp"
@@ -42,6 +43,7 @@ struct FsckOptions {
     bool compact = false;  // run compact() after build/churn, audit the layout
     bool stats = false;    // print occupancy + fragmentation counters
     std::string inject_fault;  // "", "leaf", "vector" or "direct"
+    std::string save_image;    // write a snapshot image after all stages
 };
 
 void usage(std::FILE* to)
@@ -65,6 +67,11 @@ void usage(std::FILE* to)
         "  --inject-fault K   corrupt the built FIB before auditing (K: leaf,\n"
         "                     vector, direct) -- the audit MUST then fail;\n"
         "                     exercises the detector end to end\n"
+        "  --save-image F     write a snapshot image of the final FIB to F\n"
+        "                     (after any --updates / --compact stages)\n"
+        "  --verify-image F   audit an on-disk snapshot image instead of\n"
+        "                     building a FIB: header, checksums, and the full\n"
+        "                     structural walk; exit 1 on any violation\n"
         "  --verbose          print every audit's coverage summary\n",
         to);
 }
@@ -266,6 +273,13 @@ int fsck(const rib::RouteList<Addr>& routes, const FsckOptions& opt)
         }
     }
 
+    if (!opt.save_image.empty()) {
+        // Written even when the audit failed: the e2e tests save a FIB with
+        // an injected fault precisely to prove --verify-image catches it.
+        snapshot::save(pt, opt.save_image);
+        std::printf("poptrie_fsck: image written to %s\n", opt.save_image.c_str());
+    }
+
     if (violations != 0) {
         std::fprintf(stderr, "poptrie_fsck: %zu violation(s)\n", violations);
         return 1;
@@ -274,11 +288,58 @@ int fsck(const rib::RouteList<Addr>& routes, const FsckOptions& opt)
     return 0;
 }
 
+/// --verify-image for one address family: load (header + checksum validation
+/// happen inside the loader), then run the structural walk over the image.
+template <class Addr>
+int verify_image_family(const std::string& path, const FsckOptions& opt)
+{
+    const auto fib = snapshot::SnapshotFib<Addr>::load_file(path);
+    const auto report = snapshot::verify_image(fib);
+    if (!report.ok() || opt.verbose)
+        std::fprintf(report.ok() ? stdout : stderr, "%s", report.summary().c_str());
+    if (!report.ok()) {
+        std::fprintf(stderr, "poptrie_fsck: image '%s' failed verification\n",
+                     path.c_str());
+        return 1;
+    }
+    std::printf("poptrie_fsck: image '%s' clean (%llu nodes, %llu leaves, "
+                "%llu direct slots)\n",
+                path.c_str(), static_cast<unsigned long long>(fib.node_count()),
+                static_cast<unsigned long long>(fib.leaf_count()),
+                static_cast<unsigned long long>(fib.direct_slots()));
+    return 0;
+}
+
+int verify_image(const std::string& path, const FsckOptions& opt)
+{
+    try {
+        const auto hdr = snapshot::read_header(path);
+        if (hdr.family_width == 32) return verify_image_family<netbase::Ipv4Addr>(path, opt);
+        if (hdr.family_width == 128)
+            return verify_image_family<netbase::Ipv6Addr>(path, opt);
+        std::fprintf(stderr, "poptrie_fsck: image '%s' has unknown family width %u\n",
+                     path.c_str(), hdr.family_width);
+        return 1;
+    } catch (const snapshot::ImageError& e) {
+        // A structurally invalid image is a verification failure, not a
+        // usage error: the whole point of the subcommand is to catch these.
+        std::fprintf(stderr, "poptrie_fsck: %s\n", e.what());
+        return 1;
+    } catch (const snapshot::ImageIoError& e) {
+        std::fprintf(stderr, "poptrie_fsck: %s\n", e.what());
+        return 2;
+    } catch (const std::exception& e) {
+        std::fprintf(stderr, "poptrie_fsck: %s\n", e.what());
+        return 2;
+    }
+}
+
 }  // namespace
 
 int main(int argc, char** argv)
 {
     FsckOptions opt;
+    std::string verify_image_path;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
         const auto value = [&]() -> const char* {
@@ -329,6 +390,10 @@ int main(int argc, char** argv)
             opt.stats = true;
         } else if (arg == "--inject-fault") {
             opt.inject_fault = value();
+        } else if (arg == "--save-image") {
+            opt.save_image = value();
+        } else if (arg == "--verify-image") {
+            verify_image_path = value();
         } else if (arg == "--verbose") {
             opt.verbose = true;
         } else if (arg == "--help" || arg == "-h") {
@@ -340,6 +405,8 @@ int main(int argc, char** argv)
             return 2;
         }
     }
+
+    if (!verify_image_path.empty()) return verify_image(verify_image_path, opt);
 
     try {
         if (opt.family == 4) {
