@@ -1,0 +1,280 @@
+// Batch-pipeline benchmark — single-core lookup rate (Mlps) of the lane
+// paths (scalar / software-pipelined / AVX2 / AVX-512) across burst width,
+// table size, and traffic pattern. This is the Figure-8-style evidence for
+// DESIGN.md §12: how much memory-level parallelism the interleaved state
+// machine and the gather kernels actually extract on this host.
+//
+// Every cell is gated on checksum equivalence against the scalar walk over
+// the identical key stream: a lane path that returns even one different next
+// hop fails the whole run (exit 1). A fast wrong kernel must never produce
+// a number.
+//
+// benchctl runs this as the `pipe.*` family; the committed baselines pin the
+// ≥512k-route sweep where the pipelined walk must hold ≥1.5× scalar.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "benchkit/json.hpp"
+#include "benchkit/provenance.hpp"
+#include "common.hpp"
+#include "poptrie/lanes.hpp"
+
+using namespace bench;
+namespace lanes = poptrie::lanes;
+
+namespace {
+
+/// Key-stream length. A power of two and a multiple of every burst width,
+/// so the timed loop never sees a partial burst except where we ask for one.
+constexpr std::size_t kStream = 1u << 20;
+
+std::vector<std::uint32_t> make_stream(std::string_view pattern, const Dataset& d,
+                                       std::uint64_t seed)
+{
+    std::vector<std::uint32_t> keys;
+    keys.reserve(kStream);
+    if (pattern == "random") {
+        workload::Xorshift128 rng(seed);
+        for (std::size_t i = 0; i < kStream; ++i) keys.push_back(rng.next());
+    } else if (pattern == "repeated") {
+        // §4.2's repeated pattern: each random destination issued 16 times.
+        workload::Xorshift128 rng(seed);
+        while (keys.size() < kStream) {
+            const std::uint32_t a = rng.next();
+            for (int i = 0; i < 16 && keys.size() < kStream; ++i) keys.push_back(a);
+        }
+    } else if (pattern == "flows") {
+        // Interleaved flows: every packet draws uniformly from a pool of 4096
+        // distinct destinations. The working set stays cache-resident like
+        // "repeated", but consecutive packets rarely share a destination, so
+        // the scalar walk's branches stay unpredictable — the regime where a
+        // branchless gather kernel earns its keep.
+        constexpr std::size_t kFlows = 4096;
+        workload::Xorshift128 rng(seed);
+        std::vector<std::uint32_t> pool;
+        pool.reserve(kFlows);
+        for (std::size_t i = 0; i < kFlows; ++i) pool.push_back(rng.next());
+        for (std::size_t i = 0; i < kStream; ++i)
+            keys.push_back(pool[rng.next() & (kFlows - 1)]);
+    } else if (pattern == "trace") {
+        workload::TraceConfig tc;
+        tc.seed = seed;
+        tc.packets = kStream;
+        keys = workload::make_real_trace_like(d.rib, tc);
+        keys.resize(kStream);
+    } else {
+        std::fprintf(stderr, "bench_batch_pipeline: unknown pattern '%s'\n",
+                     std::string(pattern).c_str());
+        std::exit(2);
+    }
+    return keys;
+}
+
+/// One burst through `path`. For the pipelined path the burst width is also
+/// the interleave width (a template parameter — the state-machine arrays are
+/// stack-resident per instantiation); the SIMD kernels always process
+/// 8-lane groups inside whatever burst they are handed.
+void run_burst(lanes::LanePath path, unsigned width, const lanes::View4& view,
+               const std::uint32_t* keys, NextHop* out, std::size_t n)
+{
+    namespace pb = poptrie::batch;
+    if (path == lanes::LanePath::kPipelined) {
+        if (view.leaf_compression) {
+            switch (width) {
+            case 8: pb::lookup_batch_pipelined<true, 8>(view, keys, out, n, view.direct_bits); break;
+            case 16: pb::lookup_batch_pipelined<true, 16>(view, keys, out, n, view.direct_bits); break;
+            default: pb::lookup_batch_pipelined<true, 32>(view, keys, out, n, view.direct_bits); break;
+            }
+        } else {
+            switch (width) {
+            case 8: pb::lookup_batch_pipelined<false, 8>(view, keys, out, n, view.direct_bits); break;
+            case 16: pb::lookup_batch_pipelined<false, 16>(view, keys, out, n, view.direct_bits); break;
+            default: pb::lookup_batch_pipelined<false, 32>(view, keys, out, n, view.direct_bits); break;
+            }
+        }
+    } else {
+        lanes::run(path, view, keys, out, n);
+    }
+}
+
+/// Order-sensitive fold so a permuted (not just wrong) result also fails.
+std::uint64_t fold_checksum(std::uint64_t h, const NextHop* out, std::size_t n)
+{
+    for (std::size_t i = 0; i < n; ++i) h = h * 1099511628211ULL + out[i];
+    return h;
+}
+
+std::uint64_t checksum_pass(lanes::LanePath path, unsigned width,
+                            const lanes::View4& view,
+                            const std::vector<std::uint32_t>& keys)
+{
+    std::vector<NextHop> out(width);
+    std::uint64_t h = 14695981039346656037ULL;
+    for (std::size_t i = 0; i < keys.size(); i += width) {
+        const std::size_t n = std::min<std::size_t>(width, keys.size() - i);
+        run_burst(path, width, view, keys.data() + i, out.data(), n);
+        h = fold_checksum(h, out.data(), n);
+    }
+    return h;
+}
+
+double timed_mlps(lanes::LanePath path, unsigned width, const lanes::View4& view,
+                  const std::vector<std::uint32_t>& keys, double duration,
+                  ChecksumSink& sink)
+{
+    using clock = std::chrono::steady_clock;
+    std::vector<NextHop> out(width);
+    std::uint64_t consumed = 0;
+    std::size_t done = 0;
+    const auto t0 = clock::now();
+    const auto deadline = t0 + std::chrono::duration_cast<clock::duration>(
+                                   std::chrono::duration<double>(duration));
+    for (;;) {
+        // Check the clock once per full pass over the stream, not per burst.
+        for (std::size_t i = 0; i < keys.size(); i += width)
+            run_burst(path, width, view, keys.data() + i, out.data(), width);
+        consumed += out[0];
+        done += keys.size();
+        if (clock::now() >= deadline) break;
+    }
+    const double elapsed = std::chrono::duration<double>(clock::now() - t0).count();
+    sink.add(consumed);
+    return benchkit::to_mlps(done, elapsed);
+}
+
+std::vector<std::string> split_list(const std::string& list)
+{
+    std::vector<std::string> out;
+    for (std::size_t pos = 0; pos < list.size();) {
+        const auto comma = std::min(list.find(',', pos), list.size());
+        out.push_back(list.substr(pos, comma - pos));
+        pos = comma + 1;
+    }
+    return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv)
+{
+    const benchkit::Args args(argc, argv);
+    if (args.handle_help(
+            "bench_batch_pipeline",
+            "  --routes-list=L   comma-separated table sizes (default 100000,600000)\n"
+            "  --direct-list=L   comma-separated direct-pointing bits (default 18,0;\n"
+            "                    0 forces full-depth walks — the latency-bound regime)\n"
+            "  --patterns=L      comma-separated from random,repeated,flows,trace\n"
+            "                    (default random,repeated,flows,trace)\n"
+            "  --bursts-list=L   comma-separated burst widths from 8,16,32\n"
+            "                    (default 8,16,32)\n"
+            "  --duration=S      seconds per cell (default 0.5, --full: 2)\n"
+            "  --json            emit a JSON record per cell"))
+        return 0;
+
+    const auto routes_list = split_list(args.get("routes-list", "100000,600000"));
+    const auto direct_list = split_list(args.get("direct-list", "18,0"));
+    const auto patterns =
+        split_list(args.get("patterns", "random,repeated,flows,trace"));
+    const auto bursts = split_list(args.get("bursts-list", "8,16,32"));
+    const double duration = args.get_double("duration", args.has("full") ? 2.0 : 0.5);
+    const auto seed = args.seed(1);
+
+    std::printf("Batch pipeline: single-core lane-path lookup rate\n");
+    std::printf("# burst = keys per lookup_batch call; pipelined interleave width = burst.\n");
+    std::printf("# Every cell is checksum-gated against the scalar walk first.\n\n");
+    print_host_note();
+
+    std::vector<lanes::LanePath> paths{lanes::LanePath::kScalar};
+    for (const lanes::LanePath p : lanes::kAllPaths)
+        if (p != lanes::LanePath::kScalar && lanes::compiled_in(p) && lanes::cpu_supports(p))
+            paths.push_back(p);
+    for (const lanes::LanePath p : lanes::kAllPaths)
+        if (!lanes::compiled_in(p) || !lanes::cpu_supports(p))
+            std::printf("# lane-path %s unavailable: %s\n",
+                        std::string(lanes::name(p)).c_str(),
+                        lanes::compiled_in(p) ? "cpu lacks support" : "not compiled in");
+
+    benchkit::TablePrinter table({{"Routes", 7},
+                                  {"Direct", 6},
+                                  {"Pattern", 8, false},
+                                  {"Burst", 5},
+                                  {"Path", 9, false},
+                                  {"Rate[Mlps]", 10},
+                                  {"vs scalar", 9}});
+    table.print_header();
+    benchkit::JsonRecords json;
+    ChecksumSink sink;
+
+    for (const auto& routes_str : routes_list) {
+        const auto n_routes = std::strtoull(routes_str.c_str(), nullptr, 10);
+        workload::TableGenConfig tg;
+        tg.seed = seed;
+        tg.target_routes = n_routes;
+        tg.next_hops = 64;
+        const auto d = load_routes("synthetic", workload::generate_table(tg));
+        for (const auto& direct_str : direct_list) {
+        const auto direct_bits = static_cast<unsigned>(
+            std::strtoul(direct_str.c_str(), nullptr, 10));
+        poptrie::Config pcfg;
+        pcfg.direct_bits = direct_bits;
+        const poptrie::Poptrie4 fib{d.rib, pcfg};
+        const lanes::View4 view = fib.batch_view();
+
+        for (const auto& pattern : patterns) {
+            const auto keys = make_stream(pattern, d, seed ^ n_routes);
+            for (const auto& burst_str : bursts) {
+                const auto width = static_cast<unsigned>(
+                    std::strtoul(burst_str.c_str(), nullptr, 10));
+                if (width != 8 && width != 16 && width != 32) {
+                    std::fprintf(stderr, "bench_batch_pipeline: bad burst '%s'\n",
+                                 burst_str.c_str());
+                    return 2;
+                }
+                const std::uint64_t want =
+                    checksum_pass(lanes::LanePath::kScalar, width, view, keys);
+                double scalar_mlps = 0;
+                for (const lanes::LanePath p : paths) {
+                    const std::uint64_t got = checksum_pass(p, width, view, keys);
+                    if (got != want) {
+                        std::fprintf(stderr,
+                                     "bench_batch_pipeline: checksum mismatch: path %s "
+                                     "routes=%llu direct=%u pattern=%s burst=%u\n",
+                                     std::string(lanes::name(p)).c_str(),
+                                     static_cast<unsigned long long>(n_routes),
+                                     direct_bits, pattern.c_str(), width);
+                        return 1;
+                    }
+                    const double mlps = timed_mlps(p, width, view, keys, duration, sink);
+                    if (p == lanes::LanePath::kScalar) scalar_mlps = mlps;
+                    const double speedup = scalar_mlps > 0 ? mlps / scalar_mlps : 0;
+                    table.print_row({std::to_string(n_routes),
+                                     std::to_string(direct_bits), pattern,
+                                     std::to_string(width),
+                                     std::string(lanes::name(p)), benchkit::fmt(mlps, 2),
+                                     benchkit::fmt(speedup, 2)});
+                    json.begin_record();
+                    json.field("routes", std::uint64_t{n_routes});
+                    json.field("direct_bits", std::uint64_t{direct_bits});
+                    json.field("pattern", pattern);
+                    json.field("burst", std::uint64_t{width});
+                    json.field("path", lanes::name(p));
+                    json.field("mlps", mlps);
+                    json.field("speedup_vs_scalar", speedup);
+                    json.field("checksum_ok", true);
+                    benchkit::stamp_provenance(json);
+                }
+            }
+        }
+        }
+    }
+
+    if (args.has("json")) json.write(stdout);
+    const auto json_path = args.json_out();
+    if (!json_path.empty() && !json.write_file(json_path)) {
+        std::fprintf(stderr, "bench_batch_pipeline: cannot write %s\n", json_path.c_str());
+        return 2;
+    }
+    return 0;
+}

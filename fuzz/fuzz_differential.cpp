@@ -18,6 +18,16 @@
 // common.hpp); the RIB and the Poptrie are updated op by op, exercising the
 // §3.5 incremental-update path, then the baselines are built from the final
 // route set.
+//
+// The family byte's high bits are the lane/burst selector: bit 0 picks the
+// address family (as before, so the committed corpus keeps its meaning),
+// bits 1-2 pick the burst width (8/16/32) for the live EBR-guarded
+// lookup_batch walk. Independently, every compiled-in + CPU-supported lane
+// path (scalar / pipelined / AVX2 / AVX-512 — poptrie/lanes.hpp) replays the
+// whole probe set against the radix oracle, so a gather kernel that
+// disagrees with the scalar walk on any fuzz-grown table is a finding even
+// when the scalar paths all agree.
+#include <algorithm>
 #include <string>
 #include <vector>
 
@@ -28,23 +38,50 @@
 #include "baselines/sail.hpp"
 #include "baselines/treebitmap.hpp"
 #include "fuzz/common.hpp"
+#include "poptrie/lanes.hpp"
 #include "poptrie/poptrie.hpp"
 #include "rib/patricia.hpp"
 #include "rib/radix_trie.hpp"
+#include "sync/annotations.hpp"
 
 namespace {
 
 constexpr const char* kHarness = "fuzz_differential";
 
 template <class Addr>
-void mismatch(const char* structure, Addr addr, rib::NextHop got, rib::NextHop want)
+void mismatch(const std::string& structure, Addr addr, rib::NextHop got,
+              rib::NextHop want)
 {
     fuzz::fail(kHarness, "lookup disagreement",
-               std::string(structure) + " at " + netbase::to_string(addr) + ": got " +
+               structure + " at " + netbase::to_string(addr) + ": got " +
                    std::to_string(got) + ", radix oracle says " + std::to_string(want));
 }
 
-void run_ipv4(fuzz::ByteReader& in, const poptrie::Config& cfg)
+/// The fuzz-chosen burst width for the EBR-guarded lookup_batch walk.
+/// `pt.lookup_batch` is templated on the width, so the selector dispatches
+/// to one of the three instantiations the dataplane can also reach.
+template <class Poptrie, class ValueType>
+void batch_at_width(const Poptrie& pt, bool leaf_compression, unsigned width_sel,
+                    const std::vector<ValueType>& keys,
+                    std::vector<rib::NextHop>& out) POPTRIE_REQUIRES_SHARED(psync::cap::ebr)
+{
+    out.resize(keys.size());
+    if (leaf_compression) {
+        switch (width_sel) {
+        case 0: pt.template lookup_batch<true, 8>(keys.data(), out.data(), keys.size()); break;
+        case 1: pt.template lookup_batch<true, 16>(keys.data(), out.data(), keys.size()); break;
+        default: pt.template lookup_batch<true, 32>(keys.data(), out.data(), keys.size()); break;
+        }
+    } else {
+        switch (width_sel) {
+        case 0: pt.template lookup_batch<false, 8>(keys.data(), out.data(), keys.size()); break;
+        case 1: pt.template lookup_batch<false, 16>(keys.data(), out.data(), keys.size()); break;
+        default: pt.template lookup_batch<false, 32>(keys.data(), out.data(), keys.size()); break;
+        }
+    }
+}
+
+void run_ipv4(fuzz::ByteReader& in, const poptrie::Config& cfg, unsigned width_sel)
 {
     using Addr = netbase::Ipv4Addr;
     const auto ops = fuzz::decode_ops<Addr>(in);
@@ -87,13 +124,43 @@ void run_ipv4(fuzz::ByteReader& in, const poptrie::Config& cfg)
         if (const auto got = dir24.lookup(a); got != want) mismatch("dir24", a, got, want);
     }
 
+    // Batch lane paths over the identical probe set. The scalar per-probe
+    // loop above already pinned the oracle answers; here every usable kernel
+    // (and the fuzz-selected burst width of the live AtomicView walk) must
+    // reproduce them.
+    {
+        std::vector<rib::NextHop> got(probes.size());
+        const auto view = pt.batch_view();
+        for (const auto path : poptrie::lanes::kAllPaths) {
+            if (!poptrie::lanes::compiled_in(path) || !poptrie::lanes::cpu_supports(path))
+                continue;
+            poptrie::lanes::run(path, view, probes.data(), got.data(), probes.size());
+            for (std::size_t i = 0; i < probes.size(); ++i) {
+                const Addr a{probes[i]};
+                if (const auto want = oracle.lookup(a); got[i] != want)
+                    mismatch("lanes[" + std::string(poptrie::lanes::name(path)) + "]",
+                             a, got[i], want);
+            }
+        }
+        // reader: single-threaded harness — the claim marks the EBR
+        // capability lookup_batch requires; there is no concurrent updater.
+        const psync::EbrReadSection reader;
+        batch_at_width(pt, cfg.leaf_compression, width_sel, probes, got);
+        for (std::size_t i = 0; i < probes.size(); ++i) {
+            const Addr a{probes[i]};
+            if (const auto want = oracle.lookup(a); got[i] != want)
+                mismatch("lookup_batch[w" + std::to_string(8u << width_sel) + "]", a,
+                         got[i], want);
+        }
+    }
+
     analysis::AuditOptions aopt;
     aopt.random_probes = 512;  // the heavy probing already happened above
     const auto report = analysis::audit(pt, oracle, aopt);
     if (!report.ok()) fuzz::fail(kHarness, "poptrie-fsck audit failure", report.summary());
 }
 
-void run_ipv6(fuzz::ByteReader& in, const poptrie::Config& cfg)
+void run_ipv6(fuzz::ByteReader& in, const poptrie::Config& cfg, unsigned width_sel)
 {
     using Addr = netbase::Ipv6Addr;
     const auto ops = fuzz::decode_ops<Addr>(in);
@@ -124,6 +191,22 @@ void run_ipv6(fuzz::ByteReader& in, const poptrie::Config& cfg)
         if (const auto got = dxr6.lookup(a); got != want) mismatch("dxr6", a, got, want);
     }
 
+    // The SIMD lane kernels are IPv4-only, but the interleaved batch walk is
+    // family-generic: replay the probes at the fuzz-selected burst width.
+    {
+        std::vector<rib::NextHop> got(probes.size());
+        // reader: single-threaded harness — the claim marks the EBR
+        // capability lookup_batch requires; there is no concurrent updater.
+        const psync::EbrReadSection reader;
+        batch_at_width(pt, cfg.leaf_compression, width_sel, probes, got);
+        for (std::size_t i = 0; i < probes.size(); ++i) {
+            const Addr a{probes[i]};
+            if (const auto want = oracle.lookup(a); got[i] != want)
+                mismatch("lookup_batch6[w" + std::to_string(8u << width_sel) + "]", a,
+                         got[i], want);
+        }
+    }
+
     analysis::AuditOptions aopt;
     aopt.random_probes = 512;
     const auto report = analysis::audit(pt, oracle, aopt);
@@ -136,10 +219,14 @@ extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data, std::size_t size
 {
     fuzz::ByteReader in(data, size);
     const auto cfg = fuzz::decode_config(in.u8());
-    const bool v6 = (in.u8() & 1u) != 0;
+    const auto family_byte = in.u8();
+    const bool v6 = (family_byte & 1u) != 0;
+    // Bits 1-2 select the lookup_batch burst width: 8, 16, or 32 (both
+    // values 2 and 3 map to 32 so the label matches what actually ran).
+    const unsigned width_sel = std::min((family_byte >> 1) & 3u, 2u);
     if (v6)
-        run_ipv6(in, cfg);
+        run_ipv6(in, cfg, width_sel);
     else
-        run_ipv4(in, cfg);
+        run_ipv4(in, cfg, width_sel);
     return 0;
 }

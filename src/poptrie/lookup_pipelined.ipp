@@ -1,0 +1,329 @@
+// poptrie/lookup_pipelined.ipp — the lane-interleaved batch lookup walk,
+// shared by the live trie and the snapshot engine (DESIGN.md §12).
+//
+// A single Poptrie lookup is a chain of dependent loads: on tables larger
+// than the cache every trie level is a miss that must retire before the next
+// level's address even exists. A forwarding loop, however, always has a
+// burst of destinations in hand, and the misses of *independent* lookups can
+// overlap. This file is that overlap, written once: a software-pipelined
+// state machine that resolves the direct-pointing step for every lane up
+// front, then round-robins the lanes — issuing a prefetch for lane i's next
+// node while advancing lane i+1 — and retires lanes out of order as they hit
+// leaves.
+//
+// The walk is a template over a *view* policy so the two consumers cannot
+// drift (the bug this file fixes — poptrie.hpp and snapshot.hpp used to
+// carry near-identical hand-maintained copies):
+//
+//   * AtomicView — the live trie under §3.5 concurrent churn: acquire loads
+//     on the published indices (direct slot, root, base0/base1), relaxed
+//     loads on the fields reached through them. Used by Poptrie::lookup_batch,
+//     whose caller holds the shared EBR capability for the burst.
+//   * PlainView  — an immutable structure (SnapshotFib image, or a live trie
+//     served read-only by the pipelined engine): plain loads, nothing to
+//     race. This is also the view the SIMD lane kernels (poptrie/lanes.hpp)
+//     gather from — vector gathers are plain loads with no ordering, which
+//     is exactly why the SIMD paths are only reachable through this view.
+//
+// Both views capture raw pointers to the pool storage for the duration of a
+// burst. That hoist is sound under the same contract as the walk itself:
+// pool *storage* never moves while a reader is inside its critical section
+// (EBR for the live trie, immutability for images).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "netbase/bits.hpp"
+#include "poptrie/config.hpp"
+#include "rib/route.hpp"
+#include "sync/annotations.hpp"
+#include "sync/atomic_utils.hpp"
+
+namespace poptrie::batch {
+
+/// The direct-pointing MSB flag, restated here so the walk does not depend
+/// on the Poptrie class template (poptrie.hpp static_asserts they agree).
+inline constexpr std::uint32_t kDirectLeafBitValue = 0x8000'0000u;
+
+/// 6-bit chunk of `key` at bit offset `off`, zero-padded past the address
+/// width — the same convention as the builder, so padded slots agree.
+template <class ValueType>
+POPTRIE_HOT [[nodiscard]] inline std::uint64_t chunk(ValueType key, unsigned off) noexcept
+{
+    constexpr unsigned kWidth = netbase::bit_width_of<ValueType>;
+    if (off >= kWidth) return 0;
+    // shift-ok: off < kWidth guards the left shift; the right count is the
+    // constant kWidth - kStrideBits.
+    return static_cast<std::uint64_t>(static_cast<ValueType>(key << off) >>
+                                      (kWidth - kStrideBits));
+}
+
+/// Plain-load view over an immutable (or contractually quiescent) structure.
+/// The layout fields mirror SnapshotFib's members; Poptrie::batch_view()
+/// materializes one for the read-only pipelined engine.
+template <class ValueType, class NodeT>
+struct PlainView {
+    using value_type = ValueType;
+    using Node = NodeT;
+
+    const NodeT* nodes = nullptr;
+    const rib::NextHop* leaves = nullptr;
+    const std::uint32_t* direct = nullptr;
+    std::uint32_t root = 0;
+    unsigned direct_bits = 0;
+    bool leaf_compression = true;
+
+    POPTRIE_HOT [[nodiscard]] std::uint32_t direct_slot(std::size_t slot) const noexcept
+    {
+        // index-ok: callers extract() `slot` from the key (direct_bits wide);
+        // the owner sized the section to exactly 2^direct_bits slots.
+        return direct[slot];
+    }
+    POPTRIE_HOT [[nodiscard]] std::uint32_t root_index() const noexcept { return root; }
+    POPTRIE_HOT [[nodiscard]] std::uint64_t node_vector(std::uint32_t i) const noexcept
+    {
+        return nodes[i].vector;
+    }
+    POPTRIE_HOT [[nodiscard]] std::uint64_t node_leafvec(std::uint32_t i) const noexcept
+    {
+        return nodes[i].leafvec;
+    }
+    POPTRIE_HOT [[nodiscard]] std::uint32_t node_base0(std::uint32_t i) const noexcept
+    {
+        return nodes[i].base0;
+    }
+    POPTRIE_HOT [[nodiscard]] std::uint32_t node_base1(std::uint32_t i) const noexcept
+    {
+        return nodes[i].base1;
+    }
+    POPTRIE_HOT [[nodiscard]] rib::NextHop leaf(std::uint32_t i) const noexcept
+    {
+        return leaves[i];
+    }
+    POPTRIE_HOT void prefetch_node(std::uint32_t i) const noexcept
+    {
+        __builtin_prefetch(&nodes[i]);
+    }
+    POPTRIE_HOT void prefetch_direct(std::size_t slot) const noexcept
+    {
+        __builtin_prefetch(&direct[slot]);
+    }
+};
+
+/// Acquire/relaxed view over the live trie under §3.5 churn. The published
+/// indices (direct slots, root, base0/base1) pair with the updater's release
+/// stores; the fields reached *through* an acquired index are relaxed (the
+/// data dependency orders them; see sync/atomic_utils.hpp).
+template <class ValueType, class NodeT>
+struct AtomicView {
+    using value_type = ValueType;
+    using Node = NodeT;
+
+    const NodeT* nodes = nullptr;
+    const rib::NextHop* leaves = nullptr;
+    const std::uint32_t* direct = nullptr;
+    const std::uint32_t* root = nullptr;
+
+    POPTRIE_HOT [[nodiscard]] std::uint32_t direct_slot(std::size_t slot) const noexcept
+    {
+        // index-ok: callers extract() `slot` from the key (direct_bits wide);
+        // the builder sized the pool to exactly 2^direct_bits slots.
+        return psync::load_acquire(direct[slot]);
+    }
+    POPTRIE_HOT [[nodiscard]] std::uint32_t root_index() const noexcept
+    {
+        return psync::load_acquire(*root);
+    }
+    POPTRIE_HOT [[nodiscard]] std::uint64_t node_vector(std::uint32_t i) const noexcept
+    {
+        return psync::load_relaxed(nodes[i].vector);
+    }
+    POPTRIE_HOT [[nodiscard]] std::uint64_t node_leafvec(std::uint32_t i) const noexcept
+    {
+        return psync::load_relaxed(nodes[i].leafvec);
+    }
+    POPTRIE_HOT [[nodiscard]] std::uint32_t node_base0(std::uint32_t i) const noexcept
+    {
+        return psync::load_acquire(nodes[i].base0);
+    }
+    POPTRIE_HOT [[nodiscard]] std::uint32_t node_base1(std::uint32_t i) const noexcept
+    {
+        return psync::load_acquire(nodes[i].base1);
+    }
+    POPTRIE_HOT [[nodiscard]] rib::NextHop leaf(std::uint32_t i) const noexcept
+    {
+        return psync::load_relaxed(leaves[i]);
+    }
+    POPTRIE_HOT void prefetch_node(std::uint32_t i) const noexcept
+    {
+        __builtin_prefetch(&nodes[i]);
+    }
+    POPTRIE_HOT void prefetch_direct(std::size_t slot) const noexcept
+    {
+        __builtin_prefetch(&direct[slot]);
+    }
+};
+
+/// One lookup over a view (Algorithms 1–3 fused) — the scalar reference the
+/// pipelined tail and the forced-scalar lane path share.
+template <bool UseLeafvec, class View>
+POPTRIE_HOT [[nodiscard]] inline rib::NextHop lookup_one(const View& view,
+                                                         typename View::value_type key,
+                                                         unsigned direct_bits) noexcept
+{
+    std::uint32_t index;
+    unsigned offset;
+    if (direct_bits != 0) {  // Algorithm 3: direct pointing
+        const auto slot = static_cast<std::size_t>(netbase::extract(key, 0, direct_bits));
+        const std::uint32_t dindex = view.direct_slot(slot);
+        if (dindex & kDirectLeafBitValue)
+            return static_cast<rib::NextHop>(dindex & ~kDirectLeafBitValue);
+        index = dindex;
+        offset = direct_bits;
+    } else {
+        index = view.root_index();
+        offset = 0;
+    }
+    std::uint64_t v = chunk(key, offset);
+    std::uint64_t vector = view.node_vector(index);
+    while (vector & (std::uint64_t{1} << v)) {  // Algorithm 1 main loop
+        const std::uint32_t base = view.node_base1(index);
+        const auto bc = static_cast<std::uint32_t>(netbase::popcount64(
+            vector & netbase::low_mask_inclusive(static_cast<unsigned>(v))));
+        index = base + bc - 1;
+        vector = view.node_vector(index);
+        offset += kStrideBits;
+        v = chunk(key, offset);
+    }
+    const std::uint32_t base = view.node_base0(index);
+    const std::uint64_t lv =
+        UseLeafvec ? view.node_leafvec(index) : ~vector;  // Algorithm 1 line 14
+    const auto bc = static_cast<std::uint32_t>(
+        netbase::popcount64(lv & netbase::low_mask_inclusive(static_cast<unsigned>(v))));
+    return view.leaf(base + bc - 1);
+}
+
+/// The interleaved state machine: `Lanes` lookups in lockstep with software
+/// prefetch one trie level ahead. Retirement is out of order — a lane that
+/// hits its leaf (or resolves at the direct step) drops out while deeper
+/// lanes keep walking — so a burst costs max(depth) misses, not sum(depth).
+///
+/// Bursty traffic (the paper's §4.2 repeated pattern; per-flow packet trains
+/// in real traces) additionally hands the engine *runs* of equal
+/// destinations inside one burst. Those are coalesced up front: only the
+/// first key of each run walks, and its next hop fans out to the rest after
+/// the burst retires. On run-free traffic the cost is one predictable
+/// compare per lane.
+template <bool UseLeafvec, unsigned Lanes, class View>
+POPTRIE_HOT inline void lookup_batch_pipelined(const View& view,
+                                               const typename View::value_type* keys,
+                                               rib::NextHop* out, std::size_t n,
+                                               unsigned direct_bits) noexcept
+{
+    using value_type = typename View::value_type;
+    static_assert(Lanes >= 2 && Lanes <= 32);
+    std::size_t i = 0;
+    for (; i + Lanes <= n; i += Lanes) {
+        std::uint32_t index[Lanes];
+        unsigned offset[Lanes];
+        // Compacted list of still-walking lane numbers: each round touches
+        // only live lanes (no done-flag scan), and a retired lane simply is
+        // not copied forward — that *is* the out-of-order retirement.
+        unsigned char active[Lanes];
+        unsigned n_active = 0;
+        // Identical-destination run coalescing: bit l marks a lane whose key
+        // equals its left neighbour's. Marked lanes never enter the walk;
+        // they are filled forward from the run head once the burst retires.
+        std::uint32_t dup_mask = 0;
+        for (unsigned l = 1; l < Lanes; ++l)
+            if (keys[i + l] == keys[i + l - 1])
+                // shift-ok: l < Lanes <= 32 (static_assert above).
+                dup_mask |= std::uint32_t{1} << l;
+        if (direct_bits != 0) {
+            // Two passes over the burst so the direct-slot loads of all
+            // lanes are in flight together before the first one is consumed,
+            // plus a one-burst lookahead: the *next* burst's slots start
+            // their miss now and resolve while this burst walks.
+            std::size_t slot[Lanes];
+            for (unsigned l = 0; l < Lanes; ++l) {
+                // Extracted unconditionally (two ALU ops) so GCC sees every
+                // slot[] element written; only the prefetch minds dup_mask.
+                slot[l] = static_cast<std::size_t>(
+                    netbase::extract(keys[i + l], 0, direct_bits));
+                // shift-ok: l < Lanes <= 32 (static_assert above).
+                if ((dup_mask & (std::uint32_t{1} << l)) == 0)
+                    view.prefetch_direct(slot[l]);
+            }
+            if (i + 2 * Lanes <= n)
+                for (unsigned l = 0; l < Lanes; ++l)
+                    view.prefetch_direct(static_cast<std::size_t>(
+                        netbase::extract(keys[i + Lanes + l], 0, direct_bits)));
+            for (unsigned l = 0; l < Lanes; ++l) {
+                // shift-ok: l < Lanes <= 32 (static_assert above).
+                if (dup_mask & (std::uint32_t{1} << l)) continue;
+                const std::uint32_t dindex = view.direct_slot(slot[l]);
+                if (dindex & kDirectLeafBitValue) {
+                    out[i + l] = static_cast<rib::NextHop>(dindex & ~kDirectLeafBitValue);
+                    continue;
+                }
+                index[l] = dindex;
+                offset[l] = direct_bits;
+                active[n_active++] = static_cast<unsigned char>(l);
+                view.prefetch_node(dindex);
+            }
+        } else {
+            const std::uint32_t root = view.root_index();
+            view.prefetch_node(root);
+            for (unsigned l = 0; l < Lanes; ++l) {
+                // shift-ok: l < Lanes <= 32 (static_assert above).
+                if (dup_mask & (std::uint32_t{1} << l)) continue;
+                index[l] = root;
+                offset[l] = 0;
+                active[n_active++] = static_cast<unsigned char>(l);
+            }
+        }
+        while (n_active != 0) {
+            unsigned still = 0;
+            for (unsigned t = 0; t < n_active; ++t) {
+                const unsigned l = active[t];
+                const value_type key = keys[i + l];
+                const std::uint64_t v = chunk(key, offset[l]);
+                const std::uint64_t vector = view.node_vector(index[l]);
+                if (vector & (std::uint64_t{1} << v)) {
+                    const std::uint32_t base = view.node_base1(index[l]);
+                    const auto bc = static_cast<std::uint32_t>(netbase::popcount64(
+                        vector & netbase::low_mask_inclusive(static_cast<unsigned>(v))));
+                    index[l] = base + bc - 1;
+                    offset[l] += kStrideBits;
+                    view.prefetch_node(index[l]);
+                    active[still++] = static_cast<unsigned char>(l);
+                    continue;
+                }
+                const std::uint32_t base = view.node_base0(index[l]);
+                const std::uint64_t lv =
+                    UseLeafvec ? view.node_leafvec(index[l]) : ~vector;
+                const auto bc = static_cast<std::uint32_t>(netbase::popcount64(
+                    lv & netbase::low_mask_inclusive(static_cast<unsigned>(v))));
+                out[i + l] = view.leaf(base + bc - 1);
+            }
+            n_active = still;
+        }
+        // Fan run heads out to their coalesced followers. Left-to-right so a
+        // chain of equal keys propagates from its single walked head.
+        if (dup_mask != 0)
+            for (unsigned l = 1; l < Lanes; ++l)
+                // shift-ok: l < Lanes <= 32 (static_assert above).
+                if (dup_mask & (std::uint32_t{1} << l)) out[i + l] = out[i + l - 1];
+    }
+    // Tail: same hoisted dispatch as the lane loop. Pointer iteration rather
+    // than out[i]: under a plain-load view GCC fully unrolls this at -O3 and
+    // -Waggressive-loop-optimizations then flags the (unreachable) index
+    // overflow.
+    const value_type* k = keys + i;
+    rib::NextHop* o = out + i;
+    for (std::size_t r = n - i; r != 0; --r)
+        *o++ = lookup_one<UseLeafvec>(view, *k++, direct_bits);
+}
+
+}  // namespace poptrie::batch

@@ -40,6 +40,7 @@
 #include "netbase/prefix.hpp"
 #include "poptrie/config.hpp"
 #include "poptrie/detail.hpp"
+#include "poptrie/lookup_pipelined.ipp"
 #include "rib/radix_trie.hpp"
 #include "rib/route.hpp"
 #include "sync/annotations.hpp"
@@ -74,6 +75,8 @@ public:
     /// Direct-pointing slot flag: MSB set means the slot holds a FIB index
     /// directly (§3.4), clear means it holds an internal-node index.
     static constexpr std::uint32_t kDirectLeafBit = 0x8000'0000u;
+    static_assert(kDirectLeafBit == batch::kDirectLeafBitValue,
+                  "lookup_pipelined.ipp restates the flag to stay template-free");
 
     /// Internal node, exactly the paper's layout: 24 bytes with leafvec,
     /// 16 effective bytes in "basic" mode (leafvec unused).
@@ -191,72 +194,40 @@ public:
     /// lookup is a chain of dependent loads, so a forwarding loop that has a
     /// vector of destinations in hand (it always does — packets arrive in
     /// bursts) can overlap the memory latency of independent lookups. This
-    /// is an extension beyond the paper; bench_ablation_options quantifies
-    /// it. This is the dataplane serving path, so unlike lookup() it does
-    /// not claim its own read section: the caller must hold the shared EBR
-    /// capability (a live guard + EbrReadSection) for the whole burst.
+    /// is an extension beyond the paper; bench_ablation_options and
+    /// bench_batch_pipeline quantify it. The state machine itself lives in
+    /// lookup_pipelined.ipp (shared with SnapshotFib); this wrapper binds it
+    /// to the AtomicView the §3.5 churn contract requires. This is the
+    /// dataplane serving path, so unlike lookup() it does not claim its own
+    /// read section: the caller must hold the shared EBR capability (a live
+    /// guard + EbrReadSection) for the whole burst — which is also what
+    /// makes the pool-pointer hoist into the view sound.
     template <bool UseLeafvec, unsigned Lanes = 8>
     POPTRIE_HOT void lookup_batch(const value_type* keys, NextHop* out, std::size_t n) const noexcept
         POPTRIE_REQUIRES_SHARED(psync::cap::ebr)
     {
-        static_assert(Lanes >= 2 && Lanes <= 32);
+        const batch::AtomicView<value_type, Node> view{nodes_.data(), leaves_.data(),
+                                                       direct_.data(), &root_};
         // One config read per call: the direct/root dispatch is loop-
         // invariant, so hoist it instead of re-reading cfg_ per lane.
-        const unsigned direct_bits = cfg_.direct_bits;
-        std::size_t i = 0;
-        for (; i + Lanes <= n; i += Lanes) {
-            std::uint32_t index[Lanes];
-            unsigned offset[Lanes];
-            bool done[Lanes] = {};
-            unsigned remaining = Lanes;
-            for (unsigned l = 0; l < Lanes; ++l) {
-                if (direct_bits != 0) {
-                    const auto slot = static_cast<std::size_t>(
-                        netbase::extract(keys[i + l], 0, direct_bits));
-                    const std::uint32_t dindex = psync::load_acquire(direct_[slot]);
-                    if (dindex & kDirectLeafBit) {
-                        out[i + l] = static_cast<NextHop>(dindex & ~kDirectLeafBit);
-                        done[l] = true;
-                        --remaining;
-                        continue;
-                    }
-                    index[l] = dindex;
-                    offset[l] = direct_bits;
-                } else {
-                    index[l] = psync::load_acquire(root_);
-                    offset[l] = 0;
-                }
-                __builtin_prefetch(&nodes_[index[l]]);
-            }
-            while (remaining != 0) {
-                for (unsigned l = 0; l < Lanes; ++l) {
-                    if (done[l]) continue;
-                    const value_type key = keys[i + l];
-                    const std::uint64_t v = chunk(key, offset[l]);
-                    const std::uint64_t vector = psync::load_relaxed(nodes_[index[l]].vector);
-                    if (vector & (std::uint64_t{1} << v)) {
-                        const std::uint32_t base =
-                            psync::load_acquire(nodes_[index[l]].base1);
-                        const auto bc = static_cast<std::uint32_t>(netbase::popcount64(
-                            vector & netbase::low_mask_inclusive(static_cast<unsigned>(v))));
-                        index[l] = base + bc - 1;
-                        offset[l] += kStride;
-                        __builtin_prefetch(&nodes_[index[l]]);
-                        continue;
-                    }
-                    const std::uint32_t base = psync::load_acquire(nodes_[index[l]].base0);
-                    const std::uint64_t lv =
-                        UseLeafvec ? psync::load_relaxed(nodes_[index[l]].leafvec) : ~vector;
-                    const auto bc = static_cast<std::uint32_t>(netbase::popcount64(
-                        lv & netbase::low_mask_inclusive(static_cast<unsigned>(v))));
-                    out[i + l] = psync::load_relaxed(leaves_[base + bc - 1]);
-                    done[l] = true;
-                    --remaining;
-                }
-            }
-        }
-        // Tail: same hoisted dispatch as the lane loop.
-        for (; i < n; ++i) out[i] = lookup_impl<UseLeafvec>(keys[i], direct_bits);
+        batch::lookup_batch_pipelined<UseLeafvec, Lanes>(view, keys, out, n,
+                                                         cfg_.direct_bits);
+    }
+
+    /// Plain-load view over the published structure, for the read-only
+    /// pipelined/SIMD engines (dataplane::PipelinedEngine) and the SIMD lane
+    /// kernels (poptrie/lanes.hpp), whose vector gathers cannot carry the
+    /// acquire ordering the churn contract needs. Safe only when no
+    /// concurrent updater exists for the lifetime of the view — the
+    /// kSupportsChurn=false engine contract — which is why this is not the
+    /// path PoptrieEngine serves from.
+    [[nodiscard]] batch::PlainView<value_type, Node> batch_view() const noexcept
+        POPTRIE_NO_TSA  // no-churn contract replaces the EBR capability: with
+                        // no writer the pools are immutable and plain loads
+                        // plus the pointer hoist are trivially sound.
+    {
+        return {nodes_.data(), leaves_.data(),  direct_.data(),
+                root_,         cfg_.direct_bits, cfg_.leaf_compression};
     }
 
     /// Applies one route change (§3.5 incremental update): updates `rib`

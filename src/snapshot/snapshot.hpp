@@ -41,6 +41,8 @@
 #include "alloc/arena.hpp"
 #include "netbase/bits.hpp"
 #include "poptrie/config.hpp"
+#include "poptrie/lanes.hpp"
+#include "poptrie/lookup_pipelined.ipp"
 #include "poptrie/poptrie.hpp"
 #include "sync/annotations.hpp"
 
@@ -242,7 +244,8 @@ public:
           direct_(other.direct_),
           root_(other.root_),
           direct_bits_(other.direct_bits_),
-          leaf_compression_(other.leaf_compression_)
+          leaf_compression_(other.leaf_compression_),
+          lane_path_(other.lane_path_)
     {
         other.nodes_ = nullptr;
         other.leaves_ = nullptr;
@@ -261,6 +264,7 @@ public:
             root_ = other.root_;
             direct_bits_ = other.direct_bits_;
             leaf_compression_ = other.leaf_compression_;
+            lane_path_ = other.lane_path_;
             other.nodes_ = nullptr;
             other.leaves_ = nullptr;
             other.direct_ = nullptr;
@@ -272,24 +276,49 @@ public:
     ~SnapshotFib() { release(); }
 
     /// Longest-prefix-match lookup; kNoRoute on miss. One configuration
-    /// branch, then the same walk as the live trie.
+    /// branch, then the same walk as the live trie (the shared scalar
+    /// reference in lookup_pipelined.ipp, over the plain-load view).
     POPTRIE_HOT [[nodiscard]] NextHop lookup(Addr addr) const noexcept
     {
-        return leaf_compression_ ? lookup_impl<true>(addr.value(), direct_bits_)
-                                 : lookup_impl<false>(addr.value(), direct_bits_);
+        const auto view = plain_view();
+        return leaf_compression_
+                   ? poptrie::batch::lookup_one<true>(view, addr.value(), direct_bits_)
+                   : poptrie::batch::lookup_one<false>(view, addr.value(), direct_bits_);
     }
 
-    /// Batched lookup with the same lane-interleaved prefetch staging as
-    /// Poptrie::lookup_batch. No capability requirement: the arrays are
-    /// immutable, so there is nothing a reader could race.
+    /// Batched lookup: the shared pipelined state machine from
+    /// lookup_pipelined.ipp — and, for IPv4, the SIMD lane paths behind the
+    /// runtime dispatch in poptrie/lanes.hpp (lane_path() says which one
+    /// serves; POPTRIE_FORCE_LANES was honored at load time). No capability
+    /// requirement and no atomics: the arrays are immutable, which is also
+    /// what makes the plain-load SIMD gathers sound here.
     POPTRIE_HOT void lookup_batch(const value_type* keys, NextHop* out,
                                   std::size_t n) const noexcept
     {
-        if (leaf_compression_)
-            lookup_batch_impl<true>(keys, out, n);
-        else
-            lookup_batch_impl<false>(keys, out, n);
+        if constexpr (kWidth == 32) {
+            poptrie::lanes::run(lane_path_, plain_view(), keys, out, n);
+        } else {
+            // IPv6: no SIMD formulation yet (128-bit keys need a different
+            // chunk pipeline); the interleaved walk still hides the misses.
+            const auto view = plain_view();
+            if (leaf_compression_)
+                poptrie::batch::lookup_batch_pipelined<true, 8>(view, keys, out, n,
+                                                                direct_bits_);
+            else
+                poptrie::batch::lookup_batch_pipelined<false, 8>(view, keys, out, n,
+                                                                 direct_bits_);
+        }
     }
+
+    /// The lane path lookup_batch serves IPv4 bursts with. Resolved via
+    /// lanes::select() when the image is loaded; tests and tools may pin it.
+    [[nodiscard]] poptrie::lanes::LanePath lane_path() const noexcept
+    {
+        return lane_path_;
+    }
+    /// Pins the batch lane path. The caller owns the select() contract:
+    /// pass only a path that is compiled in and CPU-supported.
+    void set_lane_path(poptrie::lanes::LanePath path) noexcept { lane_path_ = path; }
 
     [[nodiscard]] const ImageHeader& header() const noexcept { return hdr_; }
     /// The Config the FIB was built with, reconstructed from the echo.
@@ -326,122 +355,13 @@ private:
         direct_ = nullptr;
     }
 
-    /// 6-bit chunk at bit offset `off` (same convention as the live trie).
-    POPTRIE_HOT [[nodiscard]] static std::uint64_t chunk(value_type key, unsigned off) noexcept
+    /// The plain-load view the shared walk (lookup_pipelined.ipp) and the
+    /// SIMD kernels read through. Exact, not an approximation: a loaded
+    /// image has no writer side at all.
+    POPTRIE_HOT [[nodiscard]] poptrie::batch::PlainView<value_type, Node>
+    plain_view() const noexcept
     {
-        if (off >= kWidth) return 0;
-        return static_cast<std::uint64_t>(static_cast<value_type>(key << off) >>
-                                          (kWidth - kStride));
-    }
-
-    POPTRIE_HOT [[nodiscard]] std::uint32_t direct_index(std::size_t slot) const noexcept
-    {
-        // index-ok: callers extract() `slot` from the key (direct_bits wide);
-        // the loader validated the section holds exactly 2^direct_bits slots.
-        return direct_[slot];
-    }
-
-    template <bool UseLeafvec>
-    POPTRIE_HOT [[nodiscard]] NextHop lookup_impl(value_type key,
-                                                  unsigned direct_bits) const noexcept
-    {
-        std::uint32_t index = 0;
-        unsigned offset = 0;
-        if (direct_bits != 0) {
-            const auto slot =
-                static_cast<std::size_t>(netbase::extract(key, 0, direct_bits));
-            const std::uint32_t dindex = direct_index(slot);
-            if (dindex & kDirectLeafBit)
-                return static_cast<NextHop>(dindex & ~kDirectLeafBit);
-            index = dindex;
-            offset = direct_bits;
-        } else {
-            index = root_;
-        }
-        std::uint64_t v = chunk(key, offset);
-        std::uint64_t vector = nodes_[index].vector;
-        while (vector & (std::uint64_t{1} << v)) {
-            const std::uint32_t base = nodes_[index].base1;
-            const auto bc = static_cast<std::uint32_t>(netbase::popcount64(
-                vector & netbase::low_mask_inclusive(static_cast<unsigned>(v))));
-            index = base + bc - 1;
-            vector = nodes_[index].vector;
-            offset += kStride;
-            v = chunk(key, offset);
-        }
-        const std::uint32_t base = nodes_[index].base0;
-        const std::uint64_t lv = UseLeafvec ? nodes_[index].leafvec : ~vector;
-        const auto bc = static_cast<std::uint32_t>(
-            netbase::popcount64(lv & netbase::low_mask_inclusive(static_cast<unsigned>(v))));
-        return leaves_[base + bc - 1];
-    }
-
-    template <bool UseLeafvec, unsigned Lanes = 8>
-    POPTRIE_HOT void lookup_batch_impl(const value_type* keys, NextHop* out,
-                                       std::size_t n) const noexcept
-    {
-        static_assert(Lanes >= 2 && Lanes <= 32);
-        const unsigned direct_bits = direct_bits_;
-        std::size_t i = 0;
-        for (; i + Lanes <= n; i += Lanes) {
-            std::uint32_t index[Lanes];
-            unsigned offset[Lanes];
-            bool done[Lanes] = {};
-            unsigned remaining = Lanes;
-            for (unsigned l = 0; l < Lanes; ++l) {
-                if (direct_bits != 0) {
-                    const auto slot = static_cast<std::size_t>(
-                        netbase::extract(keys[i + l], 0, direct_bits));
-                    const std::uint32_t dindex = direct_index(slot);
-                    if (dindex & kDirectLeafBit) {
-                        out[i + l] = static_cast<NextHop>(dindex & ~kDirectLeafBit);
-                        done[l] = true;
-                        --remaining;
-                        continue;
-                    }
-                    index[l] = dindex;
-                    offset[l] = direct_bits;
-                } else {
-                    index[l] = root_;
-                    offset[l] = 0;
-                }
-                __builtin_prefetch(&nodes_[index[l]]);
-            }
-            while (remaining != 0) {
-                for (unsigned l = 0; l < Lanes; ++l) {
-                    if (done[l]) continue;
-                    const value_type key = keys[i + l];
-                    const std::uint64_t v = chunk(key, offset[l]);
-                    const std::uint64_t vector = nodes_[index[l]].vector;
-                    if (vector & (std::uint64_t{1} << v)) {
-                        const std::uint32_t base = nodes_[index[l]].base1;
-                        const auto bc = static_cast<std::uint32_t>(netbase::popcount64(
-                            vector &
-                            netbase::low_mask_inclusive(static_cast<unsigned>(v))));
-                        index[l] = base + bc - 1;
-                        offset[l] += kStride;
-                        __builtin_prefetch(&nodes_[index[l]]);
-                        continue;
-                    }
-                    const std::uint32_t base = nodes_[index[l]].base0;
-                    const std::uint64_t lv =
-                        UseLeafvec ? nodes_[index[l]].leafvec : ~vector;
-                    const auto bc = static_cast<std::uint32_t>(netbase::popcount64(
-                        lv & netbase::low_mask_inclusive(static_cast<unsigned>(v))));
-                    out[i + l] = leaves_[base + bc - 1];
-                    done[l] = true;
-                    --remaining;
-                }
-            }
-        }
-        // Tail: same hoisted dispatch as the lane loop. Pointer iteration
-        // rather than out[i]: without the live trie's atomic loads GCC fully
-        // unrolls this under -O3 and -Waggressive-loop-optimizations then
-        // flags the (unreachable) index overflow.
-        const value_type* k = keys + i;
-        NextHop* o = out + i;
-        for (std::size_t r = n - i; r != 0; --r)
-            *o++ = lookup_impl<UseLeafvec>(*k++, direct_bits);
+        return {nodes_, leaves_, direct_, root_, direct_bits_, leaf_compression_};
     }
 
     ImageHeader hdr_{};
@@ -455,6 +375,9 @@ private:
     std::uint32_t root_ = 0;
     unsigned direct_bits_ = 0;
     bool leaf_compression_ = true;
+    // Resolved once per load (cpuid + POPTRIE_FORCE_LANES); IPv6 images
+    // carry it too but always serve the pipelined walk.
+    poptrie::lanes::LanePath lane_path_ = poptrie::lanes::select().path;
 };
 
 using SnapshotFib4 = SnapshotFib<netbase::Ipv4Addr>;

@@ -2,7 +2,9 @@
 
 HP1 hot-path purity: functions tagged poptrie::hot (POPTRIE_HOT) must not
     transitively reach heap allocation, locks, throwing constructs,
-    syscalls, or iostream. The call graph is walked per file/TU from every
+    syscalls, iostream, or runtime lane-dispatch probes (CPUID feature
+    tests, getenv — the lane path resolves once at lanes::select() time,
+    never per burst). The call graph is walked per file/TU from every
     hot root; calls resolve to same-model definitions (the clang frontend
     feeds per-TU models, so cross-header edges resolve there). Exempt
     callees (poptrie::hot_exempt) stop the walk, but an exemption without
@@ -111,9 +113,9 @@ def check_hp1(fm, findings):
                         c.line,
                         f"[HP1] hot function '{root.name}' reaches {c.why} "
                         f"('{c.token}'){via}; the lookup path must stay free of "
-                        "allocation/locks/throw/syscalls/io -- hoist it out, or "
-                        "mark the callee POPTRIE_HOT_EXEMPT with a 'hot-exempt:' "
-                        "justification",
+                        "allocation/locks/throw/syscalls/io/dispatch probes -- "
+                        "hoist it out, or mark the callee POPTRIE_HOT_EXEMPT "
+                        "with a 'hot-exempt:' justification",
                     )
                 )
             for call in fn.calls:

@@ -75,6 +75,29 @@ def self_test():
         {d: _hot("  std::cout << 1;", "void log_miss()", mark="POPTRIE_HOT_EXEMPT")},
         1,
     )
+    # Lane-dispatch probes on the hot path: the kernel choice must be made
+    # once at lanes::select() time, not re-probed per burst.
+    expect(
+        "hot runtime cpuid probe",
+        {d: _hot('  if (__builtin_cpu_supports("avx2")) { fast(k, o, n); return; }\n'
+                 "  slow(k, o, n);",
+                 "void dispatch(const unsigned* k, int* o, unsigned long n)")},
+        1,
+    )
+    expect(
+        "hot getenv lane override",
+        {d: _hot('  const char* e = getenv("POPTRIE_FORCE_LANES");\n  return e != nullptr;',
+                 "bool forced()")},
+        1,
+    )
+    expect(
+        "transitive cpuid probe via helper",
+        {
+            d: 'inline bool has_simd() { return __builtin_cpu_supports("avx2") != 0; }\n'
+            + _hot("  return has_simd() ? 2 : 1;", "int width()")
+        },
+        1,
+    )
 
     # ---- HP2: shift-width safety ---------------------------------------
     expect(
@@ -147,6 +170,9 @@ def self_test():
         "// hot-exempt: error path only, runs once per malformed packet batch\n"
         "POPTRIE_HOT_EXEMPT inline void report_bad() { printf(\"bad\\n\"); }\n"
         "inline int* cold_make() { return new int(1); }\n"
+        "// Cold selection code may probe freely: only hot paths are barred\n"
+        "// from runtime dispatch.\n"
+        "inline bool select_path() { return __builtin_cpu_supports(\"avx2\") != 0; }\n"
     )
     expect("clean tree", {p: clean_poptrie, d: clean_dataplane}, 0)
     expect(

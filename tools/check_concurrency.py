@@ -8,8 +8,10 @@ mutex. This linter checks the protocol shapes the analysis structurally
 cannot see -- cross-function, cross-thread and by-convention rules:
 
   R1 (guard dominance): in src/dataplane, every `x.lookup_batch(...)` /
-      `x.lookup_raw(...)` call must be lexically dominated by a live
-      read-side claim: an engine reader `::Guard`, a psync capability
+      `x.lookup_raw(...)` call -- and every call into the lane-dispatched
+      batch entry points, `lanes::run*(...)` and
+      `lookup_batch_pipelined(...)` -- must be lexically dominated by a
+      live read-side claim: an engine reader `::Guard`, a psync capability
       section, or an enclosing function annotated
       POPTRIE_REQUIRES[_SHARED](...ebr...). The analysis enforces this only
       where the callee's type is visible; the lexical rule also covers
@@ -71,7 +73,15 @@ SCAN_DIRS = ("src", "tests", "bench", "tools", "examples", "fuzz")
 ALLOW_RE = re.compile(r"check-concurrency:\s*allow")
 
 # R1 -----------------------------------------------------------------------
-LOOKUP_CALL_RE = re.compile(r"(?:\.|->)\s*(?:lookup_batch|lookup_raw)\b")
+# Member batch lookups, plus the free-function batch entry points the
+# pipelined/SIMD engine reaches (poptrie/lanes.hpp): lanes::run and the
+# per-path kernels, and the interleaved walk itself. A view read outside a
+# claim races pool reclamation exactly like a member lookup would.
+LOOKUP_CALL_RE = re.compile(
+    r"(?:\.|->)\s*(?:lookup_batch|lookup_raw)\b"
+    r"|\blanes\s*::\s*run(?:_scalar|_pipelined|_avx2|_avx512)?\s*\("
+    r"|\blookup_batch_pipelined\s*[<(]"
+)
 # A live read-side claim: an engine/EBR reader guard object, or any psync
 # capability section (writer and quiescent imply read access).
 GUARD_RE = re.compile(r"::Guard\s+\w+|\bEbrReadSection\b|\bEbrWriterSection\b|\bQuiescentSection\b")
@@ -300,11 +310,38 @@ def self_test():
         "// check-concurrency: allow -- concept requires-expression\n"
         "{ ce.lookup_batch(keys, out, n) } noexcept;\n"
     )
+    # The lane-dispatched free-function entry points need the same claim:
+    # a naked lanes::run in an engine races reclamation exactly like a
+    # member lookup_batch would.
+    bad_lanes = (
+        "void serve(const unsigned* k, int* out, unsigned long n) {\n"
+        "    poptrie::lanes::run(path_, view_, k, out, n);\n"
+        "}\n"
+    )
+    annotated_lanes = (
+        "void serve(const unsigned* k, int* out, unsigned long n) const noexcept\n"
+        "    POPTRIE_REQUIRES_SHARED(psync::cap::ebr)\n"
+        "{\n"
+        "    poptrie::lanes::run(path_, view_, k, out, n);\n"
+        "}\n"
+    )
+    bad_pipelined = (
+        "void drain(const View& v, const unsigned* k, int* out, unsigned long n) {\n"
+        "    batch::lookup_batch_pipelined<true, 8>(v, k, out, n, 18);\n"
+        "}\n"
+    )
     expect("R1 naked lookup flagged", {**anchor, "src/dataplane/w.hpp": bad_r1}, 1)
     expect("R1 guard dominates", {**anchor, "src/dataplane/w.hpp": guarded_r1}, 0)
     expect("R1 REQUIRES dominates", {**anchor, "src/dataplane/w.hpp": annotated_r1}, 0)
     expect("R1 closed scope is dead", {**anchor, "src/dataplane/w.hpp": scope_ended_r1}, 1)
     expect("R1 escape hatch", {**anchor, "src/dataplane/w.hpp": allowed_r1}, 0)
+    expect("R1 naked lanes::run flagged", {**anchor, "src/dataplane/pe.hpp": bad_lanes}, 1)
+    expect("R1 annotated lanes::run", {**anchor, "src/dataplane/pe.hpp": annotated_lanes}, 0)
+    expect(
+        "R1 naked pipelined walk flagged",
+        {**anchor, "src/dataplane/pe.hpp": bad_pipelined},
+        1,
+    )
 
     # R2: retirement outside the sanctioned paths (the fixture text is fine
     # inside updater.ipp, a leak from router code).
