@@ -163,10 +163,13 @@ int main(int argc, char** argv)
 
     const baselines::TreeBitmap16 tbm{d.fib_src};
     std::unique_ptr<baselines::Sail> sail;
+    std::string sail_error;
     try {
         sail = std::make_unique<baselines::Sail>(d.fib_src);
-    } catch (const baselines::StructuralLimit&) {
-        // SAIL rows are skipped when the table exceeds its chunk-id space.
+    } catch (const baselines::StructuralLimit& e) {
+        // The table exceeds SAIL's chunk-id space: its cells are recorded
+        // as first-class structural-limit rows, not silently dropped.
+        sail_error = e.what();
     }
 
     benchkit::TablePrinter table({{"Engine", 10, false},
@@ -227,9 +230,19 @@ int main(int argc, char** argv)
         report("treebitmap", workers, false,
                run_cell(dataplane::TreeBitmapEngine{tbm, "treebitmap"}, workers, opt,
                         nullptr));
-        if (sail)
+        if (sail) {
             report("sail", workers, false,
                    run_cell(dataplane::SailEngine{*sail, "sail"}, workers, opt, nullptr));
+        } else {
+            table.print_row({"sail", std::to_string(workers), "-", "structural-limit",
+                             "-", "-", "-"});
+            json.begin_record();
+            json.field("engine", std::string_view{"sail"});
+            json.field("workers", std::uint64_t{workers});
+            json.field("status", std::string_view{"structural_limit"});
+            json.field("error", std::string_view{sail_error});
+            benchkit::stamp_provenance(json);
+        }
     }
 
     if (args.has("json")) json.write(stdout);

@@ -5,12 +5,19 @@
 // paper's structural-limit findings.
 #include "common.hpp"
 
+#include "benchkit/json.hpp"
+#include "benchkit/provenance.hpp"
+
 using namespace bench;
 
 int main(int argc, char** argv)
 {
     const benchkit::Args args(argc, argv);
-    if (args.handle_help("bench_table5_scalability")) return 0;
+    if (args.handle_help("bench_table5_scalability",
+                         "  --json-out=FILE   write poptrie-bench/1 records to FILE\n"
+                         "                    (structural limits are first-class rows:\n"
+                         "                    {\"status\":\"structural_limit\"})"))
+        return 0;
     const auto lookups = args.lookups(std::size_t{1} << 22, std::size_t{1} << 25);
     const auto trials = args.trials();
 
@@ -22,6 +29,23 @@ int main(int argc, char** argv)
                 "# 100GbE wire rate: 148.8 Mlps\n\n");
     print_host_note();
     ChecksumSink sink;
+    benchkit::JsonRecords json;
+    const auto emit = [&json](const char* dataset, std::size_t routes, const char* structure,
+                              double mlps, double mlps_std, const std::string& error) {
+        json.begin_record();
+        json.field("tool", std::string_view{"bench_table5_scalability"});
+        json.field("dataset", std::string_view{dataset});
+        json.field("routes", std::uint64_t{routes});
+        json.field("structure", std::string_view{structure});
+        json.field("status", std::string_view{error.empty() ? "ok" : "structural_limit"});
+        if (error.empty()) {
+            json.field("mlps", mlps);
+            json.field("mlps_std", mlps_std);
+        } else {
+            json.field("error", std::string_view{error});
+        }
+        benchkit::stamp_provenance(json);
+    };
 
     struct Target {
         const char* name;
@@ -57,6 +81,9 @@ int main(int argc, char** argv)
                 [&](std::uint32_t a) { return s.sail->lookup(Ipv4Addr{a}); }, lookups, trials);
             sink.add(r.checksum);
             sail_cell = benchkit::fmt_mean_std(r.mlps_mean, r.mlps_std);
+            emit(t.name, d.routes.size(), "sail", r.mlps_mean, r.mlps_std, {});
+        } else {
+            emit(t.name, d.routes.size(), "sail", 0, 0, s.sail_error);
         }
         std::string dxr_cell = "N/A";
         if (s.d18r) {
@@ -65,16 +92,26 @@ int main(int argc, char** argv)
             sink.add(r.checksum);
             dxr_cell = benchkit::fmt_mean_std(r.mlps_mean, r.mlps_std) +
                        (s.dxr_modified ? "+" : "");
+            emit(t.name, d.routes.size(), s.dxr_modified ? "d18r_modified" : "d18r",
+                 r.mlps_mean, r.mlps_std, {});
+        } else {
+            emit(t.name, d.routes.size(), "d18r", 0, 0, s.dxr_error);
         }
         const auto p18 = benchkit::measure_random(
             [&](std::uint32_t a) { return s.poptrie18->lookup_raw<true>(a); }, lookups, trials);
         sink.add(p18.checksum);
+        emit(t.name, d.routes.size(), "poptrie18", p18.mlps_mean, p18.mlps_std, {});
         table.print_row({std::string{t.name}, benchkit::fmt_count(d.routes.size()), sail_cell, dxr_cell,
                          benchkit::fmt_mean_std(p18.mlps_mean, p18.mlps_std)});
         if (!s.sail) std::printf("    SAIL N/A: %s\n", s.sail_error.c_str());
         if (s.dxr_modified)
             std::printf("    D18R+ = modified 20-bit-base format (unmodified DXR: %s)\n",
                         s.dxr_error.c_str());
+    }
+    if (!args.json_out().empty() && !json.write_file(args.json_out())) {
+        std::fprintf(stderr, "bench_table5_scalability: cannot write %s\n",
+                     args.json_out().c_str());
+        return 2;
     }
     return 0;
 }

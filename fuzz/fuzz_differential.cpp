@@ -27,6 +27,11 @@
 // whole probe set against the radix oracle, so a gather kernel that
 // disagrees with the scalar walk on any fuzz-grown table is a finding even
 // when the scalar paths all agree.
+//
+// Config-byte bit 0x20 selects Config::leaf_dict: after the scalar and
+// batch probes, the table is compacted at a quiescent point (which is when
+// dictionary coding engages) and the probe set replays over the dict-coded
+// layout.
 #include <algorithm>
 #include <string>
 #include <vector>
@@ -154,6 +159,24 @@ void run_ipv4(fuzz::ByteReader& in, const poptrie::Config& cfg, unsigned width_s
         }
     }
 
+    // Dictionary-coded leaves (cfg.leaf_dict) only exist after a compact():
+    // run one at a quiescent point and replay the whole probe set over the
+    // re-laid-out (now dict-coded) structure, so the oracle cross-check
+    // covers the 8-bit decode path and the auditor below walks tagged runs.
+    if (cfg.leaf_dict) {
+        {
+            // quiescent: single-threaded harness — no reader exists.
+            const psync::QuiescentSection quiescent;
+            pt.compact();
+        }
+        for (const auto key : probes) {
+            const Addr a{key};
+            const auto want = oracle.lookup(a);
+            if (const auto got = pt.lookup(a); got != want)
+                mismatch("poptrie[dict-compacted]", a, got, want);
+        }
+    }
+
     analysis::AuditOptions aopt;
     aopt.random_probes = 512;  // the heavy probing already happened above
     const auto report = analysis::audit(pt, oracle, aopt);
@@ -204,6 +227,21 @@ void run_ipv6(fuzz::ByteReader& in, const poptrie::Config& cfg, unsigned width_s
             if (const auto want = oracle.lookup(a); got[i] != want)
                 mismatch("lookup_batch6[w" + std::to_string(8u << width_sel) + "]", a,
                          got[i], want);
+        }
+    }
+
+    // Same dict-compacted replay as the IPv4 leg.
+    if (cfg.leaf_dict) {
+        {
+            // quiescent: single-threaded harness — no reader exists.
+            const psync::QuiescentSection quiescent;
+            pt.compact();
+        }
+        for (const auto key : probes) {
+            const Addr a{key};
+            const auto want = oracle.lookup(a);
+            if (const auto got = pt.lookup(a); got != want)
+                mismatch("poptrie6[dict-compacted]", a, got, want);
         }
     }
 

@@ -2,11 +2,16 @@
 
 #include <bit>
 #include <cassert>
+#include <string>
 
 namespace alloc {
 
 BuddyAllocator::BuddyAllocator(index_type capacity)
 {
+    if (capacity > kMaxCapacity)
+        throw netbase::StructuralLimit(
+            "buddy allocator: requested capacity " + std::to_string(capacity) +
+            " exceeds the 2^31 slot-index space");
     capacity_ = std::bit_ceil(capacity == 0 ? index_type{1} : capacity);
     const unsigned top = order_for(capacity_);
     free_lists_.resize(top + 1);
@@ -101,6 +106,10 @@ void BuddyAllocator::free(index_type offset, index_type count)
 
 void BuddyAllocator::grow()
 {
+    if (capacity_ >= kMaxCapacity)
+        throw netbase::StructuralLimit(
+            "buddy allocator: growing past 2^31 slots would overflow the "
+            "31-bit index space (tagged 32-bit slot indices)");
     const unsigned old_top = order_for(capacity_);
     free_lists_.resize(old_top + 2);
     // The upper half of the doubled pool becomes one free block of the old

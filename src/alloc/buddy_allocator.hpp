@@ -18,6 +18,8 @@
 #include <set>
 #include <vector>
 
+#include "netbase/structural_limit.hpp"
+
 namespace alloc {
 
 /// Allocates contiguous runs of slots out of a pool of `capacity()` slots.
@@ -27,8 +29,16 @@ class BuddyAllocator {
 public:
     using index_type = std::uint32_t;
 
+    /// Largest capacity the allocator will manage: 2^31 slots. The pools it
+    /// serves refer to slots through 32-bit indices whose MSB is reserved as
+    /// a tag (poptrie's kDirectLeafBit / kLeaf8Bit), so every index must stay
+    /// below bit 31 — and `capacity_ *= 2` past this would silently wrap the
+    /// 32-bit capacity to zero. grow() throws netbase::StructuralLimit
+    /// instead of crossing it.
+    static constexpr index_type kMaxCapacity = index_type{1} << 31;
+
     /// Creates an allocator over `capacity` slots, rounded up to a power of
-    /// two (minimum 1).
+    /// two (minimum 1). Throws netbase::StructuralLimit above kMaxCapacity.
     explicit BuddyAllocator(index_type capacity);
 
     /// Allocates a contiguous run of at least `count` slots (count >= 1).
@@ -50,7 +60,10 @@ public:
     [[nodiscard]] bool reserve(index_type offset, index_type count);
 
     /// Doubles the pool. New slots become immediately allocatable. Existing
-    /// allocations are unaffected (indices are stable).
+    /// allocations are unaffected (indices are stable). Throws
+    /// netbase::StructuralLimit when the doubled capacity would exceed
+    /// kMaxCapacity — the caller sees a clean rejection, never a wrapped
+    /// 32-bit capacity.
     void grow();
 
     /// Total slots managed (always a power of two).

@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "netbase/bits.hpp"
+#include "netbase/structural_limit.hpp"
 #include "rib/radix_trie.hpp"
 #include "rib/route.hpp"
 
@@ -36,10 +37,10 @@ namespace baselines {
 
 /// Thrown when a table exceeds a structure's encoding limits (DXR range
 /// index width, SAIL chunk-id width, ...). Carries a human-readable reason.
-class StructuralLimit : public std::runtime_error {
-public:
-    using std::runtime_error::runtime_error;
-};
+/// The type itself is netbase::StructuralLimit (netbase/structural_limit.hpp)
+/// so the core builder/allocator can throw it too; this alias preserves the
+/// name every baseline and catch site has always used.
+using StructuralLimit = netbase::StructuralLimit;
 
 /// DXR variants: which direct-table width, and whether the modified
 /// (20-bit-base, long-format-only) encoding is used.

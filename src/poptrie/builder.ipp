@@ -135,6 +135,7 @@ void Poptrie<Addr>::build_from(const rib::RadixTrie<Addr>& rib)
     leaves_.assign(leaf_alloc_->capacity(), rib::kNoRoute);
     inode_count_ = 0;
     leaf_count_ = 0;
+    leaf8_live_ = 0;
 
     const auto root = detail::root_ctx(rib);
     if (cfg_.direct_bits == 0) {
@@ -156,17 +157,22 @@ void Poptrie<Addr>::build_from(const rib::RadixTrie<Addr>& rib)
 template <class Addr>
 void Poptrie<Addr>::ensure_headroom()
 {
+    // The targets stay in the 64-bit domain: a huge table times 2^headroom
+    // can exceed the 32-bit index space, and the old uint32 cast silently
+    // wrapped (e.g. 150k leaves << 16 -> a tiny target). grow() throws
+    // netbase::StructuralLimit at the 2^31 allocator ceiling, so an
+    // unsatisfiable target is a clean rejection, never a wrapped one.
     // shift-ok: valid_config() bounds pool_headroom_log2
     // <= kMaxPoolHeadroomLog2 (16) < 64.
-    const auto target_nodes =
-        static_cast<std::uint32_t>(std::max<std::size_t>(1024, inode_count_)
-                                   << cfg_.pool_headroom_log2);
+    const std::uint64_t target_nodes = std::uint64_t{std::max<std::size_t>(1024, inode_count_)}
+                                       << cfg_.pool_headroom_log2;
     while (node_alloc_->capacity() < target_nodes) node_alloc_->grow();
     nodes_.resize(node_alloc_->capacity());
-    // shift-ok: same valid_config() bound as above.
-    const auto target_leaves =
-        static_cast<std::uint32_t>(std::max<std::size_t>(1024, leaf_count_)
-                                   << cfg_.pool_headroom_log2);
+    // shift-ok: same valid_config() bound as above. The 16-bit pool's live
+    // population excludes dict-coded slots (they live in leaves8_).
+    const std::uint64_t target_leaves =
+        std::uint64_t{std::max<std::size_t>(1024, leaf_count_ - leaf8_live_)}
+        << cfg_.pool_headroom_log2;
     while (leaf_alloc_->capacity() < target_leaves) leaf_alloc_->grow();
     leaves_.resize(leaf_alloc_->capacity());
 }
@@ -181,13 +187,20 @@ Stats Poptrie<Addr>::stats() const noexcept
     Stats s;
     s.internal_nodes = inode_count_;
     s.leaves = leaf_count_;
+    s.leaf8_slots = leaf8_live_;
+    s.leaf_dict_entries = leaf_dict_.size();
     // shift-ok: valid_config() bounds direct_bits <= kMaxDirectBits (30) < 64.
     s.direct_slots = cfg_.direct_bits == 0 ? 0 : (std::size_t{1} << cfg_.direct_bits);
     const std::size_t node_bytes = cfg_.leaf_compression ? 24 : 16;
-    s.memory_bytes = inode_count_ * node_bytes + leaf_count_ * sizeof(NextHop) +
+    s.memory_bytes = inode_count_ * node_bytes +
+                     (leaf_count_ - leaf8_live_) * sizeof(NextHop) +
+                     leaf8_live_ * sizeof(std::uint8_t) +
+                     leaf_dict_.size() * sizeof(NextHop) +
                      s.direct_slots * sizeof(std::uint32_t);
     s.allocated_bytes = nodes_.capacity() * sizeof(Node) +
                         leaves_.capacity() * sizeof(NextHop) +
+                        leaves8_.capacity() * sizeof(std::uint8_t) +
+                        leaf_dict_.capacity() * sizeof(NextHop) +
                         direct_.capacity() * sizeof(std::uint32_t);
     s.node_pool_used = node_alloc_->used();
     s.leaf_pool_used = leaf_alloc_->used();

@@ -35,17 +35,37 @@
 namespace poptrie {
 
 template <class Addr>
+void Poptrie<Addr>::collect_leaf_values(const Node& n, bool* seen) const
+{
+    const std::uint32_t nleaves = leaf_count_of(n);
+    for (std::uint32_t i = 0; i < nleaves; ++i) seen[leaf_at(n.base0 + i)] = true;
+    const auto nkids = static_cast<std::uint32_t>(netbase::popcount64(n.vector));
+    for (std::uint32_t i = 0; i < nkids; ++i) collect_leaf_values(nodes_[n.base1 + i], seen);
+}
+
+template <class Addr>
 typename Poptrie<Addr>::Node Poptrie<Addr>::compact_node(const Node& old, CompactPools& out)
 {
     Node n = old;
     const std::uint32_t nleaves = leaf_count_of(old);
-    if (nleaves != 0) {
+    if (nleaves != 0 && out.encode) {
+        // Dict-coded placement: dense bump into the 8-bit code array (no
+        // alignment — codes are never buddy-allocated), decoding the source
+        // run through leaf_at (it may itself be a tagged run from the
+        // previous compaction).
+        const auto b0 = static_cast<std::uint32_t>(out.leaf8_cursor);
+        out.leaf8_cursor += nleaves;
+        if (out.leaves8.size() < out.leaf8_cursor) out.leaves8.resize(out.leaf8_cursor);
+        for (std::uint32_t i = 0; i < nleaves; ++i)
+            out.leaves8[b0 + i] = out.code_of[leaf_at(old.base0 + i)];
+        n.base0 = kLeaf8Bit | b0;
+    } else if (nleaves != 0) {
         const std::uint32_t b0 = bump_offset(out.leaf_cursor, nleaves);
         out.leaf_cursor = std::uint64_t{b0} + alloc::BuddyAllocator::block_size_for(nleaves);
         out.leaf_runs.emplace_back(b0, nleaves);
         if (out.leaves.size() < out.leaf_cursor) out.leaves.resize(out.leaf_cursor);
-        std::copy(leaves_.begin() + old.base0, leaves_.begin() + old.base0 + nleaves,
-                  out.leaves.begin() + b0);
+        for (std::uint32_t i = 0; i < nleaves; ++i)
+            out.leaves[b0 + i] = leaf_at(old.base0 + i);
         n.base0 = b0;
     } else {
         n.base0 = 0;
@@ -91,6 +111,37 @@ void Poptrie<Addr>::compact()
     CompactPools out;
     out.nodes = NodePool(arena_.get());
     out.leaves = LeafPool(arena_.get());
+    out.leaves8 = Leaf8Pool(arena_.get());
+    out.leaf_dict = LeafPool(arena_.get());
+
+    // Config::leaf_dict: pre-scan the reachable leaf runs for the distinct
+    // next-hop population. At most 256 distinct values -> re-encode every
+    // run as 8-bit dictionary codes; more -> plain 16-bit layout this cycle
+    // (lookup results identical, just no compression).
+    if (cfg_.leaf_dict) {
+        auto seen = std::make_unique<bool[]>(std::size_t{1} << 16);
+        if (cfg_.direct_bits == 0) {
+            collect_leaf_values(nodes_[root_], seen.get());
+        } else {
+            for (const std::uint32_t v : direct_)
+                if ((v & kDirectLeafBit) == 0) collect_leaf_values(nodes_[v], seen.get());
+        }
+        std::size_t distinct = 0;
+        for (std::size_t v = 0; v < (std::size_t{1} << 16); ++v)
+            if (seen[v]) ++distinct;
+        if (distinct <= 256) {
+            out.encode = true;
+            out.leaf_dict.resize(distinct);
+            out.code_of.assign(std::size_t{1} << 16, 0);
+            std::size_t code = 0;
+            for (std::size_t v = 0; v < (std::size_t{1} << 16); ++v) {
+                if (!seen[v]) continue;
+                out.leaf_dict[code] = static_cast<NextHop>(v);
+                out.code_of[v] = static_cast<std::uint8_t>(code);
+                ++code;
+            }
+        }
+    }
 
     std::uint32_t fresh_root = 0;
     // Direct slots holding node indices, with their compacted replacements.
@@ -113,11 +164,22 @@ void Poptrie<Addr>::compact()
         std::max(out.node_cursor,
                  std::uint64_t{std::max<std::size_t>(1024, inode_count_)}
                      << cfg_.pool_headroom_log2);
+    // The 16-bit pool only has to hold the leaves that did NOT move into the
+    // dict-coded array (all future update-path allocations land here).
+    const std::uint64_t leaf16_live = out.encode ? 0 : leaf_count_;
     // shift-ok: same valid_config() bound as above.
     const std::uint64_t leaf_target =
         std::max(out.leaf_cursor,
-                 std::uint64_t{std::max<std::size_t>(1024, leaf_count_)}
+                 std::uint64_t{std::max<std::size_t>(1024, leaf16_live)}
                      << cfg_.pool_headroom_log2);
+    // Guard the uint32 narrowing below: a headroom-inflated target past the
+    // allocator's 2^31 ceiling must surface as a clean rejection here (the
+    // structure itself is untouched so far), never as a wrapped capacity.
+    if (node_target > alloc::BuddyAllocator::kMaxCapacity ||
+        leaf_target > alloc::BuddyAllocator::kMaxCapacity)
+        throw netbase::StructuralLimit(
+            "poptrie compact(): pool headroom target exceeds the 2^31 "
+            "slot-index space (reduce pool_headroom_log2 or the table size)");
     auto fresh_node_alloc =
         std::make_unique<alloc::BuddyAllocator>(static_cast<std::uint32_t>(node_target));
     auto fresh_leaf_alloc =
@@ -141,13 +203,20 @@ void Poptrie<Addr>::compact()
     // arena outlives it — see the member declaration order in poptrie.hpp).
     auto old_nodes = std::make_shared<NodePool>(std::move(nodes_));
     auto old_leaves = std::make_shared<LeafPool>(std::move(leaves_));
+    auto old_leaves8 = std::make_shared<Leaf8Pool>(std::move(leaves8_));
+    auto old_leaf_dict = std::make_shared<LeafPool>(std::move(leaf_dict_));
     nodes_ = std::move(out.nodes);
     leaves_ = std::move(out.leaves);
+    leaves8_ = std::move(out.leaves8);
+    leaf_dict_ = std::move(out.leaf_dict);
     node_alloc_ = std::move(fresh_node_alloc);
     leaf_alloc_ = std::move(fresh_leaf_alloc);
-    ebr_->retire([old_nodes, old_leaves]() mutable {
+    leaf8_live_ = out.encode ? out.leaf8_cursor : 0;
+    ebr_->retire([old_nodes, old_leaves, old_leaves8, old_leaf_dict]() mutable {
         old_nodes.reset();
         old_leaves.reset();
+        old_leaves8.reset();
+        old_leaf_dict.reset();
     });
 
     // 5. Republish the entry points into the compacted pools.

@@ -305,9 +305,11 @@ __attribute__((target("avx2"))) void lookup8_avx2(const View4& view,
             alignas(32) std::uint64_t slots[8];
             _mm256_store_si256(reinterpret_cast<__m256i*>(slots), slotlo);
             _mm256_store_si256(reinterpret_cast<__m256i*>(slots + 4), slothi);
+            // view.leaf() decodes the kLeaf8Bit tag, which flowed through
+            // the 64-bit base0 arithmetic unchanged (bit 31 of the lowmask).
             for (int l = 0; l < 8; ++l)
                 if ((rmask >> l) & 1)
-                    resolved[l] = view.leaves[slots[l]];
+                    resolved[l] = view.leaf(static_cast<std::uint32_t>(slots[l]));
         }
 
         idx = _mm256_blendv_epi8(idx, pack64to32(nidxlo, nidxhi), internal);
@@ -428,9 +430,10 @@ __attribute__((target("avx2,avx512f,avx512vpopcntdq"))) void lookup8_avx512(
             const __m512i slot = _mm512_sub_epi64(_mm512_add_epi64(b0, pclv), one64);
             alignas(64) std::uint64_t slots[8];
             _mm512_store_si512(slots, slot);
+            // view.leaf() decodes the kLeaf8Bit tag (see the AVX2 kernel).
             for (int l = 0; l < 8; ++l)
                 if ((retire >> l) & 1)
-                    resolved[l] = view.leaves[slots[l]];
+                    resolved[l] = view.leaf(static_cast<std::uint32_t>(slots[l]));
         }
 
         idx = _mm512_mask_mov_epi64(idx, internal, nidx);

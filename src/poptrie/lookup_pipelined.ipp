@@ -46,6 +46,13 @@ namespace poptrie::batch {
 /// on the Poptrie class template (poptrie.hpp static_asserts they agree).
 inline constexpr std::uint32_t kDirectLeafBitValue = 0x8000'0000u;
 
+/// The dict-coded leaf-run flag (config.hpp): a leaf index with this MSB set
+/// reads the 8-bit code array through the dictionary instead of the 16-bit
+/// leaf pool. Views built over structures that never compacted with
+/// Config::leaf_dict carry null leaves8/leaf_dict pointers and never see a
+/// tagged index.
+inline constexpr std::uint32_t kLeaf8BitValue = poptrie::kLeaf8Bit;
+
 /// 6-bit chunk of `key` at bit offset `off`, zero-padded past the address
 /// width — the same convention as the builder, so padded slots agree.
 template <class ValueType>
@@ -73,6 +80,10 @@ struct PlainView {
     std::uint32_t root = 0;
     unsigned direct_bits = 0;
     bool leaf_compression = true;
+    // Appended (aggregate-init sites predating leaf_dict still compile):
+    // dict-coded leaf storage, null when the structure carries none.
+    const std::uint8_t* leaves8 = nullptr;
+    const rib::NextHop* leaf_dict = nullptr;
 
     POPTRIE_HOT [[nodiscard]] std::uint32_t direct_slot(std::size_t slot) const noexcept
     {
@@ -99,6 +110,7 @@ struct PlainView {
     }
     POPTRIE_HOT [[nodiscard]] rib::NextHop leaf(std::uint32_t i) const noexcept
     {
+        if (i & kLeaf8BitValue) return leaf_dict[leaves8[i & ~kLeaf8BitValue]];
         return leaves[i];
     }
     POPTRIE_HOT void prefetch_node(std::uint32_t i) const noexcept
@@ -124,6 +136,10 @@ struct AtomicView {
     const rib::NextHop* leaves = nullptr;
     const std::uint32_t* direct = nullptr;
     const std::uint32_t* root = nullptr;
+    // Dict-coded leaf storage; immutable between (quiescent) compactions, so
+    // relaxed loads through the acquired base0 suffice (see poptrie.hpp).
+    const std::uint8_t* leaves8 = nullptr;
+    const rib::NextHop* leaf_dict = nullptr;
 
     POPTRIE_HOT [[nodiscard]] std::uint32_t direct_slot(std::size_t slot) const noexcept
     {
@@ -153,6 +169,10 @@ struct AtomicView {
     }
     POPTRIE_HOT [[nodiscard]] rib::NextHop leaf(std::uint32_t i) const noexcept
     {
+        if (i & kLeaf8BitValue) {
+            const std::uint8_t code = psync::load_relaxed(leaves8[i & ~kLeaf8BitValue]);
+            return psync::load_relaxed(leaf_dict[code]);
+        }
         return psync::load_relaxed(leaves[i]);
     }
     POPTRIE_HOT void prefetch_node(std::uint32_t i) const noexcept

@@ -38,6 +38,14 @@ void Poptrie<Addr>::retire_leaves(std::uint32_t offset, std::uint32_t count)
 {
     leaf_count_ -= count;
     if (in_update_) updates_.leaves_retired += count;
+    if (offset & kLeaf8Bit) {
+        // Dict-coded runs are bump-placed in the dense code array, not buddy
+        // allocated: dropping one only updates the live count. The storage
+        // itself stays resident (readers may still be inside it) until the
+        // next compact() rebuilds the array from the reachable set.
+        leaf8_live_ -= count;
+        return;
+    }
     auto* const pool = leaf_alloc_.get();
     ebr_->retire([pool, offset, count] { pool->free(offset, count); });
 }
@@ -133,9 +141,12 @@ typename Poptrie<Addr>::Rebuilt Poptrie<Addr>::update_node(std::uint32_t index,
         n.vector == old.vector && (!cfg_.leaf_compression || n.leafvec == old.leafvec);
     const bool kids_equal =
         nkids == old_nkids && std::equal(kids, kids + nkids, nodes_.begin() + old.base1);
-    const bool leaves_equal = nleaves == old_nleaves &&
-                              std::equal(new_leaves, new_leaves + nleaves,
-                                         leaves_.begin() + old.base0);
+    // leaf_at() rather than std::equal over leaves_: old.base0 may be a
+    // dict-coded (kLeaf8Bit-tagged) run after a compact() under
+    // Config::leaf_dict.
+    bool leaves_equal = nleaves == old_nleaves;
+    for (unsigned i = 0; leaves_equal && i < nleaves; ++i)
+        leaves_equal = new_leaves[i] == leaf_at(old.base0 + i);
 
     if (shape_same) {
         if (kids_equal && leaves_equal) return {};  // children self-published, or no-op

@@ -6,6 +6,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "netbase/structural_limit.hpp"
 #include "workload/xorshift.hpp"
 
 namespace workload {
@@ -331,6 +332,219 @@ rib::RouteList<Ipv6Addr> generate_table6(const TableGen6Config& cfg)
             continue;
         }
         routes.push_back({p, pick_next_hop(rng, cfg.next_hops)});
+    }
+    return routes;
+}
+
+// ---------------------------------------------------------------------------
+// Million-route scale-out generators (ScaledTableConfig). All-integer and
+// counter-based: every candidate is a pure function of (seed, counter), so
+// the emitted route list is byte-stable across platforms — no doubles, no
+// hash-container iteration, no rejection-driven RNG state drift.
+
+namespace {
+
+struct PerMille {
+    unsigned length;
+    unsigned permille;
+};
+
+// IPv4 scale-out length mix: the BGP /24 mode, a realistic short-prefix
+// body, and a ~2% more-specific tail (/25-/32) that million-route FIBs
+// accumulate from deaggregation. Sums to exactly 1000.
+constexpr std::array<PerMille, 25> kScaledShares4{{
+    {8, 1},   {9, 1},   {10, 1},  {11, 2},  {12, 3},  {13, 5},  {14, 9},
+    {15, 9},  {16, 40}, {17, 22}, {18, 30}, {19, 50}, {20, 65}, {21, 70},
+    {22, 105}, {23, 85}, {24, 480}, {25, 4}, {26, 4}, {27, 3},  {28, 3},
+    {29, 3},  {30, 3},  {31, 1},  {32, 1},
+}};
+
+// IPv6 scale-out length mix: mass at /32 (RIR allocations announced whole)
+// and /48 (end-site assignments). Sums to exactly 1000.
+constexpr std::array<PerMille, 12> kScaledShares6{{
+    {24, 5},  {28, 10}, {29, 10}, {32, 280}, {36, 45}, {40, 70},
+    {44, 60}, {48, 430}, {52, 30}, {56, 35},  {60, 15}, {64, 10},
+}};
+
+template <std::size_t N>
+unsigned pick_length_permille(std::uint64_t h, const std::array<PerMille, N>& shares)
+{
+    auto u = static_cast<unsigned>(h % 1000);
+    for (const auto& s : shares) {
+        if (u < s.permille) return s.length;
+        u -= s.permille;
+    }
+    return shares.back().length;
+}
+
+// Integer spatial next-hop pick: prefixes sharing a /22 neighbourhood share
+// a next hop (same rationale as pick_next_hop_spatial above), with a 15%
+// independent remainder; the square skews popularity toward low hops. The
+// granularity is deliberately finer than a 64-ary node's span below s=18
+// direct pointing (a /18): sibling /24s announced separately usually exist
+// BECAUSE their paths differ (traffic-engineered deaggregation), so a model
+// whose hops are uniform across whole nodes would let leafvec collapse
+// nearly every leaf run and understate leaf-array pressure at scale.
+NextHop scaled_hop(std::uint32_t neighbourhood, std::uint64_t h, unsigned n,
+                   std::uint64_t seed)
+{
+    const std::uint64_t u =
+        (h % 100) < 15
+            ? ((h >> 7) & 0xFFFFu)
+            : (mix64(neighbourhood ^ (seed * 0xA24BAED4963EE407ull)) & 0xFFFFu);
+    const auto idx = static_cast<unsigned>((u * u * n) >> 32);
+    return static_cast<NextHop>(1 + std::min(idx, n - 1));
+}
+
+}  // namespace
+
+rib::RouteList<Ipv4Addr> generate_scaled_table(const ScaledTableConfig& cfg)
+{
+    // Modeled registry ceiling, checked up front so an absurd target is an
+    // immediate rejection rather than a multi-hour crawl to the dedup
+    // failure cap. 2^25 (~33.5M) comfortably covers the 10M sweep ceiling
+    // while staying far below where the L2 sub-block space (n_l2 x 2^16
+    // host slots) would make dedup collisions dominate generation time.
+    if (cfg.target_routes > (std::size_t{1} << 25))
+        throw netbase::StructuralLimit(
+            "generate_scaled_table: target exceeds the modeled IPv4 registry "
+            "(2^25 prefixes)");
+
+    // Allocation hierarchy. L1: 4096 /10 super-blocks across unicast space
+    // (first octet 1..223, so the 10-bit block id lives in [4, 896)). L2:
+    // /16 sub-allocations inside skew-chosen L1 parents; deep prefixes land
+    // inside L2 blocks, shorter ones inside L1 blocks.
+    constexpr std::size_t kL1 = 4096;
+    std::vector<std::uint32_t> l1(kL1);
+    for (std::size_t i = 0; i < kL1; ++i)
+        l1[i] = static_cast<std::uint32_t>(4 + mix64(cfg.seed ^ (0x51AB0000ull + i)) % 892)
+                << 22;
+    const std::size_t n_l2 = std::max<std::size_t>(8192, cfg.target_routes / 48);
+    std::vector<std::uint32_t> l2(n_l2);
+    for (std::size_t i = 0; i < n_l2; ++i) {
+        const std::uint64_t h = mix64(cfg.seed ^ (0x52AB000000ull + i));
+        const auto u = static_cast<std::uint32_t>(h);
+        const auto skew = static_cast<std::uint32_t>((std::uint64_t{u} * u) >> 32);
+        const auto parent =
+            static_cast<std::size_t>((static_cast<std::uint64_t>(skew) * kL1) >> 32);
+        l2[i] = l1[parent] | ((static_cast<std::uint32_t>(h >> 34) & 63u) << 16);
+    }
+
+    // Per-length capacity: half the unicast address space at that length.
+    // Demand past the cap spills to the next longer length — the integer
+    // model of registry exhaustion driving deaggregation.
+    std::array<std::size_t, 33> cap{};
+    std::array<std::size_t, 33> emitted{};
+    for (unsigned len = 8; len <= 32; ++len)
+        cap[len] = (std::size_t{223} << (len - 8)) / 2;
+
+    std::unordered_set<std::uint64_t> seen;
+    seen.reserve(cfg.target_routes * 2);
+    rib::RouteList<Ipv4Addr> routes;
+    routes.reserve(cfg.target_routes);
+
+    const std::uint64_t hop_seed = mix64(cfg.seed ^ 0xF00D);
+    routes.push_back({Prefix4{Ipv4Addr{0}, 0},
+                      scaled_hop(0, mix64(cfg.seed), cfg.next_hops, hop_seed)});
+    seen.insert(prefix_key(routes.back().prefix));
+
+    std::uint64_t counter = 0;
+    std::size_t failures = 0;
+    while (routes.size() < cfg.target_routes) {
+        if (failures > cfg.target_routes * 16 + (1u << 20))
+            throw netbase::StructuralLimit(
+                "generate_scaled_table: target exceeds the modeled IPv4 space");
+        const std::uint64_t h = mix64(cfg.seed ^ (0x90DE000000000000ull | counter++));
+        const std::uint64_t h2 = mix64(h);
+        unsigned len = pick_length_permille(h, kScaledShares4);
+        while (len < 32 && emitted[len] >= cap[len]) ++len;
+
+        std::uint32_t addr;
+        if (len <= 10) {
+            addr = l1[h2 % kL1] & netbase::high_mask<std::uint32_t>(len);
+        } else if (len <= 16) {
+            addr = (l1[h2 % kL1] | (static_cast<std::uint32_t>(h2 >> 12) & 0x003FFFFFu)) &
+                   netbase::high_mask<std::uint32_t>(len);
+        } else {
+            const auto u = static_cast<std::uint32_t>(h2);
+            const auto skew = static_cast<std::uint32_t>((std::uint64_t{u} * u) >> 32);
+            const auto q =
+                static_cast<std::size_t>((static_cast<std::uint64_t>(skew) * n_l2) >> 32);
+            addr = (l2[q] | (static_cast<std::uint32_t>(h2 >> 32) & 0xFFFFu)) &
+                   netbase::high_mask<std::uint32_t>(len);
+        }
+        const Prefix4 p{Ipv4Addr{addr}, len};
+        if (!seen.insert(prefix_key(p)).second) {
+            ++failures;
+            continue;
+        }
+        ++emitted[len];
+        routes.push_back({p, scaled_hop(addr >> 10, mix64(h2), cfg.next_hops, hop_seed)});
+    }
+    return routes;
+}
+
+rib::RouteList<Ipv6Addr> generate_scaled_table6(const ScaledTable6Config& cfg)
+{
+    using netbase::u128;
+    // Same up-front registry ceiling as the IPv4 generator (see there).
+    if (cfg.target_routes > (std::size_t{1} << 25))
+        throw netbase::StructuralLimit(
+            "generate_scaled_table6: target exceeds the modeled IPv6 registry "
+            "(2^25 prefixes)");
+    // /32 allocation blocks inside 2000::/3 (top 32 bits in
+    // [0x2000'0000, 0x4000'0000)).
+    const std::size_t n_alloc = std::max<std::size_t>(8192, cfg.target_routes / 48);
+    std::vector<std::uint32_t> alloc32(n_alloc);
+    for (std::size_t i = 0; i < n_alloc; ++i)
+        alloc32[i] = 0x2000'0000u |
+                     static_cast<std::uint32_t>(mix64(cfg.seed ^ (0x66AB000000ull + i)) %
+                                                0x2000'0000u);
+
+    // Short-prefix capacity inside 2000::/3 (half the space at each length);
+    // /32 and longer are unbounded at any realistic target.
+    std::array<std::size_t, 129> cap{};
+    std::array<std::size_t, 129> emitted{};
+    for (unsigned len = 24; len <= 64; ++len)
+        cap[len] = len >= 32 ? ~std::size_t{0} : (std::size_t{1} << (len - 3)) / 2;
+
+    std::unordered_set<std::uint64_t> seen;
+    seen.reserve(cfg.target_routes * 2);
+    rib::RouteList<Ipv6Addr> routes;
+    routes.reserve(cfg.target_routes);
+
+    const std::uint64_t hop_seed = mix64(cfg.seed ^ 0x6F00D);
+    std::uint64_t counter = 0;
+    std::size_t failures = 0;
+    while (routes.size() < cfg.target_routes) {
+        if (failures > cfg.target_routes * 16 + (1u << 20))
+            throw netbase::StructuralLimit(
+                "generate_scaled_table6: target exceeds the modeled IPv6 space");
+        const std::uint64_t h = mix64(cfg.seed ^ (0x60DE000000000000ull | counter++));
+        const std::uint64_t h2 = mix64(h);
+        unsigned len = pick_length_permille(h, kScaledShares6);
+        while (len < 64 && emitted[len] >= cap[len]) ++len;
+
+        const auto u = static_cast<std::uint32_t>(h2);
+        const auto skew = static_cast<std::uint32_t>((std::uint64_t{u} * u) >> 32);
+        const auto q =
+            static_cast<std::size_t>((static_cast<std::uint64_t>(skew) * n_alloc) >> 32);
+        u128 addr = static_cast<u128>(alloc32[q]) << 96;
+        if (len > 32) addr |= static_cast<u128>(h2 >> 8) << 32;  // bits 32..87
+        if (len < 128) addr &= ~((u128{1} << (128 - len)) - 1);
+        else if (len > 128) continue;  // unreachable; keeps the mask shift defined
+        const Prefix6 p{Ipv6Addr{addr}, len};
+        const std::uint64_t key =
+            mix64(static_cast<std::uint64_t>(p.bits() >> 64) ^
+                  mix64(static_cast<std::uint64_t>(p.bits())) ^
+                  (static_cast<std::uint64_t>(len) << 56));
+        if (!seen.insert(key).second) {
+            ++failures;
+            continue;
+        }
+        ++emitted[len];
+        routes.push_back({p, scaled_hop(static_cast<std::uint32_t>(p.bits() >> 96), mix64(h2),
+                                        cfg.next_hops, hop_seed)});
     }
     return routes;
 }

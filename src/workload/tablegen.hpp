@@ -67,4 +67,41 @@ struct TableGen6Config {
 /// Generates an IPv6 table.
 [[nodiscard]] rib::RouteList<netbase::Ipv6Addr> generate_table6(const TableGen6Config& cfg);
 
+/// Knobs for the million-route scale-out generators. Unlike TableGenConfig
+/// (tuned to reproduce the paper's 2014-era ~520k tables and the SAIL/DXR
+/// compile-vs-overflow boundary), these model a SHIP-style allocation
+/// hierarchy — RIR-scale super-blocks, skewed LIR sub-allocations, and
+/// deaggregated customer prefixes — and stay feasible from 10^5 up to 10^7
+/// routes: per-length absolute capacity is bounded by the address space
+/// actually available at that length, and surplus demand spills to longer
+/// prefixes exactly as registry exhaustion deaggregates real tables.
+///
+/// Determinism contract: the output is a pure function of this struct — no
+/// floating point, no container-order dependence — and is byte-stable across
+/// platforms and standard-library implementations (tests/test_scale.cpp pins
+/// golden hashes).
+struct ScaledTableConfig {
+    std::uint64_t seed = 1;
+    std::size_t target_routes = 1'000'000;
+    unsigned next_hops = 100;  ///< distinct next hops (skewed popularity)
+};
+
+/// Generates a scale-out IPv4 table of exactly `target_routes` routes
+/// (default-route anchor included). Throws netbase::StructuralLimit if the
+/// target exceeds the modeled registry (2^25 ≈ 33.5M prefixes).
+[[nodiscard]] rib::RouteList<netbase::Ipv4Addr> generate_scaled_table(
+    const ScaledTableConfig& cfg);
+
+/// IPv6 variant: realistic-density tables inside 2000::/3 (mass at /32 and
+/// /48), same determinism contract and hierarchy model.
+struct ScaledTable6Config {
+    std::uint64_t seed = 1;
+    std::size_t target_routes = 200'000;
+    unsigned next_hops = 100;
+};
+
+/// Generates a scale-out IPv6 table of exactly `target_routes` routes.
+[[nodiscard]] rib::RouteList<netbase::Ipv6Addr> generate_scaled_table6(
+    const ScaledTable6Config& cfg);
+
 }  // namespace workload

@@ -83,4 +83,28 @@ double deep_fraction(const Rib4& rib, const std::vector<std::uint32_t>& trace, u
     return static_cast<double>(deep) / static_cast<double>(trace.size());
 }
 
+std::vector<std::uint32_t> make_scaled_trace(const rib::RouteList<netbase::Ipv4Addr>& routes,
+                                             const ScaledTraceConfig& cfg)
+{
+    Xorshift128 rng(cfg.seed);
+    std::vector<std::uint32_t> trace;
+    trace.reserve(cfg.packets);
+    const auto n = routes.size();
+    for (std::size_t i = 0; i < cfg.packets; ++i) {
+        const std::uint32_t u = rng.next();
+        if (n == 0 || u % 1000 < cfg.miss_permille) {
+            trace.push_back(rng.next());
+            continue;
+        }
+        // Squared-uniform route index: a handful of popular prefixes carry
+        // most packets, the tail still gets touched.
+        const auto skew = static_cast<std::uint32_t>((std::uint64_t{u} * u) >> 32);
+        const auto idx = static_cast<std::size_t>((static_cast<std::uint64_t>(skew) * n) >> 32);
+        const auto& p = routes[idx].prefix;
+        trace.push_back(p.bits() |
+                        (rng.next() & ~netbase::high_mask<std::uint32_t>(p.length())));
+    }
+    return trace;
+}
+
 }  // namespace workload

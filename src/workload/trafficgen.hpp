@@ -45,4 +45,22 @@ struct TraceConfig {
 [[nodiscard]] double deep_fraction(const rib::RadixTrie<netbase::Ipv4Addr>& rib,
                                    const std::vector<std::uint32_t>& trace, unsigned depth);
 
+/// Tunables for the scale-out destination stream (bench_scaling). Unlike
+/// make_real_trace_like this needs no RadixTrie — it samples straight from
+/// the route list, so it stays O(packets) even against 10M-route tables.
+struct ScaledTraceConfig {
+    std::uint64_t seed = 7;
+    std::size_t packets = 1'000'000;
+    /// Per-mille of packets that are uniform random (mostly misses /
+    /// default-route hits); the rest land inside a skew-chosen route.
+    unsigned miss_permille = 20;
+};
+
+/// Destination stream matched to a scale-out table: each packet picks a
+/// route with squared-uniform (popularity-skewed) index and a random host
+/// suffix inside it, exercising full-depth walks across the whole resident
+/// structure. Deterministic in (routes order, cfg).
+[[nodiscard]] std::vector<std::uint32_t> make_scaled_trace(
+    const rib::RouteList<netbase::Ipv4Addr>& routes, const ScaledTraceConfig& cfg = {});
+
 }  // namespace workload
